@@ -1,0 +1,38 @@
+"""Ablation — component weight alpha sweep (DESIGN.md §5.1).
+
+Extends Table IV: alpha=0 is the pure global-similarity (MF-like)
+model, alpha=1 is Inf2vec-L, the tuned default sits in between.
+Expectation: the blended setting is never worse than both extremes.
+"""
+
+from conftest import BENCH_SCALE, BENCH_SEED, run_once
+
+from repro.experiments import table4_ablation
+
+ALPHAS = (0.0, 0.2, 1.0)
+
+
+def test_ablation_alpha(benchmark):
+    results = run_once(
+        benchmark,
+        table4_ablation.run_alpha_sweep,
+        ALPHAS,
+        BENCH_SCALE,
+        BENCH_SEED,
+        profile="digg",
+    )
+
+    print("\nAblation — activation AUC/MAP vs component weight alpha")
+    for alpha in ALPHAS:
+        row = results[alpha].as_row()
+        print(f"  alpha={alpha:<5} AUC={row['AUC']:.4f} MAP={row['MAP']:.4f}")
+
+    blended = results[0.2].as_row()["AUC"]
+    global_only = results[0.0].as_row()["AUC"]
+    local_only = results[1.0].as_row()["AUC"]
+    assert blended >= min(global_only, local_only), (
+        f"blended {blended:.4f} below both extremes "
+        f"({global_only:.4f}, {local_only:.4f})"
+    )
+    # The pure-local ablation is the weak end on this data (Table IV).
+    assert blended > local_only - 0.01

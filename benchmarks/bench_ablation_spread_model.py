@@ -1,0 +1,64 @@
+"""Ablation — what happens when the world spreads by Linear Threshold.
+
+Section II of the paper: *"we propose a new data-driven algorithm to
+directly capture diffusion information from real-life dataset, without
+any prior assumption of spread models."*  This bench probes that claim
+by regenerating the digg-like dataset with LT cascades.
+
+Measured finding (recorded in EXPERIMENTS.md): under LT, *every*
+pair-learning method — IC-likelihood (ST, EM) and representation
+(MF, Inf2vec) alike — collapses toward parity, because LT activation
+is a *cumulative threshold* event that no per-pair parameter explains,
+and DE's ``1/indegree`` structure (Eq. 8 then gives ≈ k/d, the
+fraction of active friends) is literally the LT mechanic, so the
+naive baseline becomes competitive.  The assertions pin that shape:
+no method separates from the pack, Inf2vec does not collapse below
+it, and the IC-likelihood methods lose the edge over DE that they
+hold on IC data.
+"""
+
+from conftest import BENCH_SCALE, BENCH_SEED, run_once
+
+from repro.baselines import Inf2vecMethod, MFModel, StaticModel, make_method
+from repro.data.synthetic import SyntheticSocialDataset
+from repro.eval.activation import evaluate_activation
+
+
+def _run_lt_comparison():
+    data = SyntheticSocialDataset.digg_like(
+        num_users=BENCH_SCALE.num_users,
+        num_items=BENCH_SCALE.num_items,
+        seed=BENCH_SEED,
+        spread_model="lt",
+    )
+    train, _tune, test = data.log.split((0.8, 0.1, 0.1), seed=BENCH_SEED)
+    rows = {}
+    for name, model in (
+        ("DE", make_method("DE")),
+        ("ST", StaticModel()),
+        ("EM", make_method("EM")),
+        ("MF", MFModel(dim=BENCH_SCALE.dim, epochs=5, seed=BENCH_SEED)),
+        ("Inf2vec", Inf2vecMethod(BENCH_SCALE.inf2vec_config(), seed=BENCH_SEED)),
+    ):
+        model.fit(data.graph, train)
+        predictor = model.predictor(num_runs=BENCH_SCALE.mc_runs, seed=1)
+        rows[name] = evaluate_activation(predictor, data.graph, test)
+    return rows
+
+
+def test_ablation_lt_spread_model(benchmark):
+    rows = run_once(benchmark, _run_lt_comparison)
+
+    print("\nAblation — activation prediction on LT-generated cascades")
+    for name, result in rows.items():
+        print(f"  {name:<8} {result}")
+
+    aucs = {name: r.auc for name, r in rows.items()}
+    best = max(aucs.values())
+    # The field compresses: nobody separates the way Table II separates.
+    assert best - min(aucs.values()) < 0.1, aucs
+    # Inf2vec stays with the pack (no catastrophic model mismatch).
+    assert aucs["Inf2vec"] > best - 0.05, aucs
+    # The IC-likelihood estimators lose their IC-data edge over DE.
+    assert aucs["ST"] < aucs["DE"] + 0.02, aucs
+    assert aucs["EM"] < aucs["DE"] + 0.02, aucs

@@ -1,0 +1,75 @@
+"""Extension bench — alternative context-generation strategies.
+
+The paper's conclusion proposes exploring context generators beyond
+Algorithm 1's uniform random walk.  This bench compares, on the same
+split:
+
+* standard Algorithm 1 contexts (the paper),
+* time-aware contexts (`repro.extensions.temporal_context`) whose
+  walks and global samples prefer temporally close adoptions,
+* the topic-aware routing model (`repro.extensions.topic_inf2vec`).
+
+Assertions are loose: extensions must be competitive (no collapse),
+not necessarily better — they are research directions, not claims.
+"""
+
+from conftest import BENCH_SCALE, BENCH_SEED, run_once
+
+from repro.baselines import Inf2vecMethod
+from repro.core.context import ContextConfig
+from repro.core.inf2vec import Inf2vecModel
+from repro.core.prediction import EmbeddingPredictor
+from repro.eval.activation import evaluate_activation
+from repro.experiments.common import make_dataset
+from repro.extensions.temporal_context import (
+    TemporalContextConfig,
+    TemporalContextGenerator,
+)
+from repro.extensions.topic_inf2vec import TopicConfig, TopicInf2vec
+
+
+def _run_variants():
+    data = make_dataset("digg", BENCH_SCALE, BENCH_SEED)
+    train, _tune, test = data.log.split((0.8, 0.1, 0.1), seed=BENCH_SEED)
+    config = BENCH_SCALE.inf2vec_config()
+    rows = {}
+
+    standard = Inf2vecMethod(config, seed=BENCH_SEED).fit(data.graph, train)
+    rows["standard"] = evaluate_activation(standard.predictor(), data.graph, test)
+
+    temporal_corpus = TemporalContextGenerator(
+        data.graph,
+        TemporalContextConfig(
+            base=ContextConfig(
+                length=BENCH_SCALE.context_length, alpha=BENCH_SCALE.alpha
+            ),
+            decay=10.0,
+        ),
+        seed=BENCH_SEED,
+    ).generate(train)
+    temporal_model = Inf2vecModel(config, seed=BENCH_SEED)
+    temporal_model.fit_contexts(temporal_corpus, num_users=data.graph.num_nodes)
+    rows["temporal"] = evaluate_activation(
+        EmbeddingPredictor(temporal_model.embedding), data.graph, test
+    )
+
+    topic_model = TopicInf2vec(
+        config, TopicConfig(num_topics=3), seed=BENCH_SEED
+    ).fit(data.graph, train)
+    rows["topic-aware"] = topic_model.evaluate_activation(data.graph, test)
+    return rows
+
+
+def test_extension_context_strategies(benchmark):
+    rows = run_once(benchmark, _run_variants)
+
+    print("\nExtensions — context-generation strategies (activation, digg-like)")
+    for name, result in rows.items():
+        print(f"  {name:<12} {result}")
+
+    standard_auc = rows["standard"].auc
+    for name, result in rows.items():
+        assert result.auc > 0.5, f"{name} collapsed to random"
+        assert result.auc > standard_auc - 0.12, (
+            f"{name} far below standard: {result.auc:.4f} vs {standard_auc:.4f}"
+        )

@@ -1,0 +1,28 @@
+"""Benchmark F1/F2 — regenerate Figures 1–2 (power-law frequencies)."""
+
+from conftest import BENCH_SCALE, BENCH_SEED, run_once
+
+from repro.experiments import fig1_2_powerlaw
+
+
+def test_fig1_2_powerlaw(benchmark):
+    rows = run_once(benchmark, fig1_2_powerlaw.run, BENCH_SCALE, BENCH_SEED)
+
+    print("\nFigures 1-2 — influence-pair frequency distributions")
+    print(f"{'Dataset':<14}{'Role':<8}{'users':>7}{'max f':>7}{'alpha':>8}{'R^2':>8}")
+    for row in rows:
+        print(
+            f"{row.dataset:<14}{row.role:<8}{row.num_active:>7}"
+            f"{row.max_frequency:>7}{row.fit.exponent:>8.2f}"
+            f"{row.fit.r_squared:>8.3f}"
+        )
+
+    assert len(rows) == 4
+    for row in rows:
+        # Paper shape: heavy-tailed, straight in log-log space.
+        assert row.fit.exponent > 1.0, f"{row.dataset}/{row.role} not heavy tailed"
+        assert row.fit.r_squared > 0.7, (
+            f"{row.dataset}/{row.role} log-log fit too poor: {row.fit.r_squared}"
+        )
+        # A genuinely heavy tail: the most extreme user is far above typical.
+        assert row.max_frequency >= 10

@@ -1,0 +1,26 @@
+"""Benchmark F3 — regenerate Figure 3 (active-friend CDF)."""
+
+from conftest import BENCH_SCALE, BENCH_SEED, run_once
+
+from repro.experiments import fig3_cdf
+
+
+def test_fig3_cdf(benchmark):
+    rows = run_once(benchmark, fig3_cdf.run, BENCH_SCALE, BENCH_SEED)
+
+    print("\nFigure 3 — CDF of active friends at adoption")
+    xs = sorted(rows[0].cdf)
+    print(f"{'x':>4}" + "".join(f"{row.dataset:>14}" for row in rows))
+    for x in xs:
+        print(f"{x:>4}" + "".join(f"{row.cdf[x]:>14.3f}" for row in rows))
+
+    digg, flickr = rows
+    # Paper: CDF(0) = 0.7 on Digg, 0.5 on Flickr.
+    assert abs(digg.cdf0 - digg.paper_cdf0) < 0.12, digg.cdf0
+    assert abs(flickr.cdf0 - flickr.paper_cdf0) < 0.12, flickr.cdf0
+    assert digg.cdf0 > flickr.cdf0
+    # CDFs are monotone and reach (nearly) 1.
+    for row in rows:
+        values = [row.cdf[x] for x in xs]
+        assert values == sorted(values)
+        assert values[-1] > 0.9

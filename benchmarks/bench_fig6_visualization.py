@@ -1,0 +1,35 @@
+"""Benchmark F6 — regenerate Figure 6 (t-SNE pair proximity).
+
+Paper: in the t-SNE projection of the nodes of the most frequent
+influence pairs, only Inf2vec places both members of each highlighted
+pair close together.  Quantified as the mean distance percentile of
+the highlighted pairs (lower = closer).
+"""
+
+from conftest import BENCH_SCALE, BENCH_SEED, run_once
+
+from repro.experiments import fig6_visualization
+
+
+def test_fig6_visualization(benchmark):
+    result = run_once(
+        benchmark,
+        fig6_visualization.run,
+        BENCH_SCALE,
+        BENCH_SEED,
+        num_top_pairs=150,
+        highlight=5,
+    )
+
+    print(f"\nFigure 6 — top-pair distance percentile ({result.dataset})")
+    for name, pct in sorted(result.mean_percentiles().items(), key=lambda kv: kv[1]):
+        print(f"  {name:<10} {pct:.3f}")
+
+    percentiles = result.mean_percentiles()
+    # Paper shape: Inf2vec's highlighted pairs are close — at or near
+    # the best of the four models, and in the closest decile overall.
+    assert percentiles["Inf2vec"] < 0.25, percentiles
+    others_best = min(
+        percentiles[name] for name in ("Emb-IC", "MF", "Node2vec")
+    )
+    assert percentiles["Inf2vec"] <= others_best + 0.05, percentiles

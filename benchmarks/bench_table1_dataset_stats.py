@@ -1,0 +1,27 @@
+"""Benchmark T1 — regenerate Table I (dataset statistics)."""
+
+from conftest import BENCH_SCALE, BENCH_SEED, run_once
+
+from repro.experiments import table1_stats
+
+
+def test_table1_dataset_stats(benchmark):
+    rows = run_once(benchmark, table1_stats.run, BENCH_SCALE, BENCH_SEED)
+
+    print("\nTable I — dataset statistics")
+    header = (
+        f"{'Dataset':<14}{'#User':>8}{'#Edge':>10}{'#Item':>8}"
+        f"{'#Action':>10}{'#Pairs':>10}"
+    )
+    print(header)
+    for row in rows:
+        print(
+            f"{row.dataset:<14}{row.num_users:>8}{row.num_edges:>10}"
+            f"{row.num_items:>8}{row.num_actions:>10}{row.num_influence_pairs:>10}"
+        )
+
+    digg, flickr = rows
+    # Paper shape: Flickr an order denser in edges, comparable actions.
+    assert flickr.num_edges > 1.5 * digg.num_edges
+    assert digg.num_actions > 0 and flickr.num_actions > 0
+    assert digg.num_influence_pairs > 0

@@ -1,0 +1,28 @@
+"""Benchmark T4 — regenerate Table IV (Inf2vec-L ablation).
+
+Paper: Inf2vec-L (local context only, alpha=1) consistently trails full
+Inf2vec on both tasks and both datasets, demonstrating the value of the
+global user-similarity context.
+"""
+
+from conftest import BENCH_SCALE, BENCH_SEED, run_once
+
+from repro.experiments import table4_ablation
+
+
+def test_table4_inf2vec_l(benchmark):
+    results = run_once(benchmark, table4_ablation.run, BENCH_SCALE, BENCH_SEED)
+
+    for result in results:
+        print(f"\nTable IV — {result.task} on {result.dataset}")
+        print(result.table())
+
+    wins = 0
+    for result in results:
+        if result.global_context_helps("AUC"):
+            wins += 1
+    # Paper shape: the global context helps everywhere; allow one noisy
+    # exception across the 4 (dataset, task) cells at bench scale.
+    assert wins >= len(results) - 1, (
+        f"global context helped in only {wins}/{len(results)} cells"
+    )

@@ -1,0 +1,44 @@
+"""Shared benchmark configuration.
+
+Every benchmark wraps one experiment pipeline from
+:mod:`repro.experiments` and runs it exactly once
+(``benchmark.pedantic(rounds=1)``) — the pipelines are full
+train-and-evaluate jobs, not micro-kernels, so repeated rounds would
+multiply minutes of work for no extra information.  The printed tables
+are the reproduction artifacts recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ExperimentScale
+
+#: Working point for the benchmark suite: large enough for the paper's
+#: relative comparisons to hold, small enough for a single-core run.
+BENCH_SCALE = ExperimentScale(
+    name="bench",
+    num_users=400,
+    num_items=200,
+    dim=16,
+    context_length=20,
+    alpha=0.2,
+    learning_rate=0.015,
+    epochs=12,
+    num_negatives=5,
+    mc_runs=100,
+)
+
+#: Fixed seed so benchmark output is reproducible run to run.
+BENCH_SEED = 20180416  # ICDE 2018 week, arbitrary but memorable
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> ExperimentScale:
+    """The shared benchmark working point."""
+    return BENCH_SCALE
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run ``func`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

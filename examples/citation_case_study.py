@@ -1,0 +1,51 @@
+"""Citation case study: embedding model vs conventional influence model.
+
+Reproduces Section V-D / Table VI of the paper on a synthetic citation
+corpus (the DBLP dump is not redistributable): authors of a cited paper
+influence authors of the citing paper; each model predicts a test
+author's top-10 future citers.
+
+The paper reports average precision@10 of 0.1863 for the embedding
+model vs 0.0616 for the conventional (ST + Monte-Carlo) model; the
+reproduction target is the embedding model's clear advantage, driven
+by the sparsity of per-pair observations.
+
+Run:  python examples/citation_case_study.py
+"""
+
+from repro.apps.citation_study import run_case_study
+from repro.data.citation import CitationConfig, CitationDataset
+
+SEED = 5
+
+
+def main() -> None:
+    dataset = CitationDataset.generate(CitationConfig(), seed=SEED)
+    stats = dataset.statistics()
+    print(
+        f"citation corpus: {stats['num_papers']} papers, "
+        f"{stats['num_authors']} authors, "
+        f"{stats['num_pairs']} author influence pairs "
+        f"({stats['num_distinct_pairs']} distinct)"
+    )
+
+    result = run_case_study(dataset, mc_runs=200, seed=SEED)
+    print(f"\ntest authors: {result.num_test_authors}")
+    print(f"embedding    model precision@10: {result.embedding_precision:.4f}")
+    print(f"conventional model precision@10: {result.conventional_precision:.4f}")
+    print(f"ratio: {result.precision_ratio:.2f}x  (paper: 0.1863 / 0.0616 ~ 3x)")
+
+    print("\nTop-10 follower predictions for the most prolific test authors")
+    print("(the paper's Table VI showcases Stonebraker/Garcia-Molina/Agrawal):")
+    for row in result.showcase:
+        print(
+            f"  author {row.author:>4}: "
+            f"embedding {row.embedding_hits}/10 correct, "
+            f"conventional {row.conventional_hits}/10 correct"
+        )
+        print(f"    embedding top-10:    {list(row.embedding_top10)}")
+        print(f"    conventional top-10: {list(row.conventional_top10)}")
+
+
+if __name__ == "__main__":
+    main()

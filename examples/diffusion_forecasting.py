@@ -1,0 +1,71 @@
+"""Diffusion forecasting: who will a breaking story reach?
+
+The paper's diffusion-prediction task (Section V-B2) as a downstream
+application: given the first few adopters of a new item, forecast which
+users the cascade will eventually reach, comparing
+
+* Inf2vec representations scored with Eq. 7 (milliseconds), and
+* an IC-model baseline that needs thousands of Monte-Carlo
+  simulations per query — the cost gap the paper highlights
+  ("Inf2vec uses 41 seconds and Emb-IC uses 9,246 seconds").
+
+Run:  python examples/diffusion_forecasting.py
+"""
+
+import time
+
+import numpy as np
+
+from repro import Inf2vecConfig, Inf2vecModel, SyntheticSocialDataset
+from repro.baselines import EMModel
+from repro.core.context import ContextConfig
+from repro.core.prediction import EmbeddingPredictor
+from repro.eval.diffusion import make_query
+
+SEED = 21
+TOP_K = 15
+
+
+def main() -> None:
+    data = SyntheticSocialDataset.flickr_like(num_users=400, num_items=150, seed=SEED)
+    train, _tune, test = data.log.split((0.8, 0.1, 0.1), seed=SEED)
+    print(f"dataset: {data}")
+
+    inf2vec = Inf2vecModel(
+        Inf2vecConfig(
+            dim=32, epochs=15, learning_rate=0.01,
+            context=ContextConfig(length=20, alpha=0.2),
+        ),
+        seed=SEED,
+    ).fit(data.graph, train)
+    em = EMModel().fit(data.graph, train)
+
+    fast = EmbeddingPredictor(inf2vec.embedding, aggregator="ave")
+    slow = em.predictor(num_runs=1000, seed=SEED)
+
+    # Forecast every test episode from its first 5% adopters.
+    queries = [q for q in (make_query(ep) for ep in test) if q is not None]
+    print(f"\nforecasting {len(queries)} held-out cascades")
+
+    for name, predictor in (("Inf2vec", fast), ("EM + MonteCarlo", slow)):
+        total_hits = 0
+        elapsed = 0.0
+        for query in queries:
+            start = time.perf_counter()
+            scores = predictor.diffusion_scores(list(query.seeds))
+            elapsed += time.perf_counter() - start
+            ranked = [
+                int(u)
+                for u in np.argsort(-scores)
+                if int(u) not in query.seeds
+            ][:TOP_K]
+            total_hits += sum(1 for u in ranked if u in query.ground_truth)
+        mean_hits = total_hits / len(queries)
+        print(
+            f"{name:16s} mean top-{TOP_K} forecast hits: {mean_hits:.1f}"
+            f"  ({elapsed * 1000 / len(queries):.1f} ms per cascade)"
+        )
+
+
+if __name__ == "__main__":
+    main()

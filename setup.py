@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Kept alongside ``pyproject.toml`` so the package can be installed in
+fully offline environments that lack the ``wheel`` package
+(``python setup.py develop`` / ``pip install -e . --no-build-isolation``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,44 @@
+"""repro — a full reproduction of Inf2vec (ICDE 2018).
+
+Feng et al., *Inf2vec: Latent Representation Model for Social Influence
+Embedding*, ICDE 2018.
+
+The package learns per-user influence embeddings from a social network
+and an action log, together with every baseline, diffusion substrate,
+and evaluation protocol the paper compares against.
+
+Quickstart
+----------
+>>> from repro import SyntheticSocialDataset, Inf2vecModel, Inf2vecConfig
+>>> data = SyntheticSocialDataset.digg_like(num_users=200, num_items=40, seed=7)
+>>> train, tune, test = data.log.split((0.8, 0.1, 0.1), seed=7)
+>>> model = Inf2vecModel(Inf2vecConfig(dim=16, epochs=3), seed=7)
+>>> model = model.fit(data.graph, train)
+>>> model.embedding.score(0, 1)  # x(0 -> 1)  # doctest: +SKIP
+"""
+
+from repro.core.context import ContextConfig
+from repro.core.embeddings import InfluenceEmbedding
+from repro.core.inf2vec import Inf2vecConfig, Inf2vecModel
+from repro.core.prediction import EmbeddingPredictor, ICPredictor
+from repro.data.actionlog import ActionLog, DiffusionEpisode
+from repro.data.graph import SocialGraph
+from repro.data.synthetic import SyntheticSocialDataset
+from repro.errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ContextConfig",
+    "InfluenceEmbedding",
+    "Inf2vecConfig",
+    "Inf2vecModel",
+    "EmbeddingPredictor",
+    "ICPredictor",
+    "ActionLog",
+    "DiffusionEpisode",
+    "SocialGraph",
+    "SyntheticSocialDataset",
+    "ReproError",
+    "__version__",
+]

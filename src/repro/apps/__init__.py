@@ -1,0 +1,29 @@
+"""Applications built on the learned influence embeddings."""
+
+from repro.apps.citation_study import (
+    AuthorPrediction,
+    CaseStudyResult,
+    pairs_to_contexts,
+    run_case_study,
+    train_conventional_model,
+    train_embedding_model,
+)
+from repro.apps.influence_max import (
+    SeedSelection,
+    embedding_edge_probabilities,
+    embedding_seed_selection,
+    greedy_influence_maximization,
+)
+
+__all__ = [
+    "AuthorPrediction",
+    "CaseStudyResult",
+    "pairs_to_contexts",
+    "run_case_study",
+    "train_conventional_model",
+    "train_embedding_model",
+    "SeedSelection",
+    "embedding_edge_probabilities",
+    "embedding_seed_selection",
+    "greedy_influence_maximization",
+]

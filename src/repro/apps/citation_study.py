@@ -1,0 +1,226 @@
+"""The citation-network case study (Section V-D, Table VI).
+
+Pipeline, mirroring the paper:
+
+1. take a citation corpus's author-level influence pairs (authors of a
+   cited paper influence authors of the citing paper),
+2. randomly split pairs 80/20 into train/test,
+3. train two models on the training pairs only —
+
+   * **embedding model**: Eq. 4 skip-gram over *first-order pairs only*
+     (the paper deliberately disables Algorithm 1's walks here to make
+     the comparison about representations vs edge parameters),
+   * **conventional model**: the ST estimator
+     ``P_uv = A_{u2v} / A_u`` on the influence graph induced by the
+     training pairs, scored at prediction time by Monte-Carlo
+     simulation (5,000 runs in the paper);
+
+4. for each test author, predict the top-10 researchers who will cite
+   them, and measure precision against the held-out pairs.
+
+The paper reports average precision@10 of 0.1863 (embedding) vs 0.0616
+(conventional); the reproduction target is the ≈3× gap, not the
+absolute values.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.context import InfluenceContext
+from repro.core.embeddings import InfluenceEmbedding
+from repro.core.inf2vec import Inf2vecConfig, Inf2vecModel
+from repro.data.citation import CitationDataset, CitationPair
+from repro.data.graph import SocialGraph
+from repro.diffusion.montecarlo import activation_frequencies
+from repro.diffusion.probabilities import EdgeProbabilities
+from repro.errors import EvaluationError
+from repro.utils.rng import SeedLike, ensure_rng
+from repro.utils.validation import check_positive_int
+
+
+def pairs_to_contexts(pairs: Sequence[CitationPair]) -> list[InfluenceContext]:
+    """One single-member context per influence-pair observation.
+
+    This is the "only exploit first-order social influence pairs"
+    setting of the case study: no random walks, no global samples.
+    """
+    return [
+        InfluenceContext(user=p.source, item=p.time, local=(p.target,), global_=())
+        for p in pairs
+    ]
+
+
+def train_embedding_model(
+    pairs: Sequence[CitationPair],
+    num_authors: int,
+    dim: int = 32,
+    epochs: int = 10,
+    learning_rate: float = 0.02,
+    seed: SeedLike = None,
+) -> InfluenceEmbedding:
+    """Learn author representations from first-order pairs via Eq. 4."""
+    config = Inf2vecConfig(dim=dim, epochs=epochs, learning_rate=learning_rate)
+    model = Inf2vecModel(config, seed=seed)
+    model.fit_contexts(pairs_to_contexts(pairs), num_users=num_authors)
+    return model.embedding
+
+
+def train_conventional_model(
+    pairs: Sequence[CitationPair], num_authors: int
+) -> EdgeProbabilities:
+    """ST estimator on the influence graph induced by the training pairs.
+
+    ``A_{u2v}`` counts observations of the pair; ``A_u`` counts all
+    observations with ``u`` as source (``u``'s influence trials).
+    """
+    pair_counts: Counter = Counter((p.source, p.target) for p in pairs)
+    source_totals: Counter = Counter(p.source for p in pairs)
+    graph = SocialGraph(num_authors, sorted(pair_counts))
+    table = {
+        (u, v): count / source_totals[u] for (u, v), count in pair_counts.items()
+    }
+    return EdgeProbabilities.from_dict(graph, table)
+
+
+@dataclass(frozen=True)
+class AuthorPrediction:
+    """Top-10 follower prediction for one showcased author."""
+
+    author: int
+    embedding_top10: tuple[int, ...]
+    conventional_top10: tuple[int, ...]
+    embedding_hits: int
+    conventional_hits: int
+
+
+@dataclass(frozen=True)
+class CaseStudyResult:
+    """Table VI outcome.
+
+    Attributes
+    ----------
+    embedding_precision:
+        Mean precision@10 of the embedding model over all test authors.
+    conventional_precision:
+        Same for the conventional (ST + Monte-Carlo) model.
+    num_test_authors:
+        Authors with at least one held-out follower.
+    showcase:
+        Per-author predictions for the most prolific test authors (the
+        paper showcases Stonebraker / Garcia-Molina / Agrawal).
+    """
+
+    embedding_precision: float
+    conventional_precision: float
+    num_test_authors: int
+    showcase: tuple[AuthorPrediction, ...]
+
+    @property
+    def precision_ratio(self) -> float:
+        """Embedding / conventional precision (≈3 in the paper)."""
+        if self.conventional_precision == 0:
+            return float("inf")
+        return self.embedding_precision / self.conventional_precision
+
+
+def _top_k(scores: np.ndarray, exclude: set[int], k: int) -> tuple[int, ...]:
+    order = np.argsort(-scores, kind="stable")
+    picked: list[int] = []
+    for candidate in order:
+        candidate = int(candidate)
+        if candidate in exclude:
+            continue
+        picked.append(candidate)
+        if len(picked) == k:
+            break
+    return tuple(picked)
+
+
+def run_case_study(
+    dataset: CitationDataset,
+    train_fraction: float = 0.8,
+    top_k: int = 10,
+    num_showcase: int = 3,
+    mc_runs: int = 500,
+    embedding_dim: int = 32,
+    embedding_epochs: int = 20,
+    seed: SeedLike = None,
+) -> CaseStudyResult:
+    """Run the full Table VI pipeline on a citation dataset.
+
+    Parameters
+    ----------
+    dataset:
+        The citation corpus.
+    train_fraction:
+        Pair-level split fraction (0.8 in the paper).
+    top_k:
+        Prediction list length (10 in the paper).
+    num_showcase:
+        How many most-prolific test authors to detail.
+    mc_runs:
+        Monte-Carlo simulations per conventional-model query (5,000 in
+        the paper; the default trades a little estimator variance for
+        CI runtime).
+    embedding_dim, embedding_epochs:
+        Embedding-model settings.
+    seed:
+        Controls the split, training, and simulations.
+    """
+    check_positive_int("top_k", top_k)
+    rng = ensure_rng(seed)
+    train, test = dataset.split(train_fraction, seed=rng)
+    if not test:
+        raise EvaluationError("test split is empty; increase the dataset size")
+
+    embedding = train_embedding_model(
+        train,
+        dataset.num_authors,
+        dim=embedding_dim,
+        epochs=embedding_epochs,
+        seed=rng,
+    )
+    probabilities = train_conventional_model(train, dataset.num_authors)
+
+    followers_by_author: dict[int, set[int]] = defaultdict(set)
+    for pair in test:
+        followers_by_author[pair.source].add(pair.target)
+
+    embedding_precisions: list[float] = []
+    conventional_precisions: list[float] = []
+    per_author: dict[int, AuthorPrediction] = {}
+    for author, truth in followers_by_author.items():
+        emb_scores = embedding.scores_from(author)
+        emb_top = _top_k(emb_scores, {author}, top_k)
+        mc_scores = activation_frequencies(
+            probabilities, [author], num_runs=mc_runs, seed=rng
+        )
+        conv_top = _top_k(mc_scores, {author}, top_k)
+
+        emb_hits = sum(1 for candidate in emb_top if candidate in truth)
+        conv_hits = sum(1 for candidate in conv_top if candidate in truth)
+        embedding_precisions.append(emb_hits / top_k)
+        conventional_precisions.append(conv_hits / top_k)
+        per_author[author] = AuthorPrediction(
+            author=author,
+            embedding_top10=emb_top,
+            conventional_top10=conv_top,
+            embedding_hits=emb_hits,
+            conventional_hits=conv_hits,
+        )
+
+    productivity = dataset.papers_per_author()
+    showcase_authors = sorted(
+        per_author, key=lambda a: (-productivity[a], a)
+    )[:num_showcase]
+    return CaseStudyResult(
+        embedding_precision=float(np.mean(embedding_precisions)),
+        conventional_precision=float(np.mean(conventional_precisions)),
+        num_test_authors=len(followers_by_author),
+        showcase=tuple(per_author[a] for a in showcase_authors),
+    )

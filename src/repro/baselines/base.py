@@ -1,0 +1,102 @@
+"""Common interface for all evaluated influence-learning methods.
+
+Every method in the paper's Tables II–III — DE, ST, EM, Emb-IC, MF,
+Node2vec, and Inf2vec itself — is wrapped as an
+:class:`InfluenceModel`: ``fit(graph, log)`` learns the parameters and
+``predictor(...)`` returns an object implementing the
+:class:`repro.core.prediction.InfluencePredictor` protocol used by the
+evaluation tasks.
+
+IC-based methods (DE, ST, EM, Emb-IC) implement
+:meth:`EdgeProbabilityModel.edge_probabilities` and inherit an
+:class:`~repro.core.prediction.ICPredictor`; latent models (MF,
+Node2vec, Inf2vec) implement :meth:`EmbeddingModel.embedding` and
+inherit an :class:`~repro.core.prediction.EmbeddingPredictor`.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.core.aggregation import Aggregator
+from repro.core.embeddings import InfluenceEmbedding
+from repro.core.prediction import EmbeddingPredictor, ICPredictor, InfluencePredictor
+from repro.data.actionlog import ActionLog
+from repro.data.graph import SocialGraph
+from repro.diffusion.probabilities import EdgeProbabilities
+from repro.errors import NotFittedError
+from repro.utils.rng import SeedLike
+
+
+class InfluenceModel(abc.ABC):
+    """Base class for every evaluated method.
+
+    Attributes
+    ----------
+    name:
+        Short method name used in result tables (``"DE"``, ``"ST"``,
+        ``"EM"``, ``"Emb-IC"``, ``"MF"``, ``"Node2vec"``,
+        ``"Inf2vec"``).
+    """
+
+    name: str = "model"
+
+    @abc.abstractmethod
+    def fit(self, graph: SocialGraph, log: ActionLog) -> "InfluenceModel":
+        """Learn the model parameters from a graph + training log."""
+
+    @abc.abstractmethod
+    def predictor(self, **kwargs) -> InfluencePredictor:
+        """Return a fitted predictor for the evaluation tasks."""
+
+    @property
+    @abc.abstractmethod
+    def is_fitted(self) -> bool:
+        """Whether :meth:`fit` has completed."""
+
+    def _require_fitted(self) -> None:
+        if not self.is_fitted:
+            raise NotFittedError(f"{self.name} has not been fitted yet")
+
+    def __repr__(self) -> str:
+        state = "fitted" if self.is_fitted else "unfitted"
+        return f"{type(self).__name__}(name={self.name!r}, {state})"
+
+
+class EdgeProbabilityModel(InfluenceModel):
+    """Base for IC-based methods that learn a ``P_uv`` per social edge."""
+
+    @abc.abstractmethod
+    def edge_probabilities(self) -> EdgeProbabilities:
+        """The learned per-edge probability table."""
+
+    def predictor(
+        self, num_runs: int = 1000, seed: SeedLike = None, **_ignored
+    ) -> ICPredictor:
+        """Eq. 8 activation + Monte-Carlo diffusion predictor.
+
+        Parameters
+        ----------
+        num_runs:
+            Monte-Carlo simulations per diffusion query (5,000 in the
+            paper; configurable because it dominates Table III cost).
+        seed:
+            RNG seed for the simulations.
+        """
+        self._require_fitted()
+        return ICPredictor(self.edge_probabilities(), num_runs=num_runs, seed=seed)
+
+
+class EmbeddingModel(InfluenceModel):
+    """Base for latent-representation methods exposing ``(S, T, b, b̃)``."""
+
+    @abc.abstractmethod
+    def embedding(self) -> InfluenceEmbedding:
+        """The learned representation parameters."""
+
+    def predictor(
+        self, aggregator: str | Aggregator = "ave", **_ignored
+    ) -> EmbeddingPredictor:
+        """Eq. 7 predictor with the requested aggregation function."""
+        self._require_fitted()
+        return EmbeddingPredictor(self.embedding(), aggregator=aggregator)

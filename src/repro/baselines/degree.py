@@ -1,0 +1,44 @@
+"""DE — the degree-based baseline.
+
+Sets ``P_uv = 1 / indegree(v)`` for every edge, ignoring the action log
+entirely.  This weighting is the classic default of the influence-
+maximisation literature (Kempe et al. [1]); the paper includes it to
+show that a purely structural heuristic cannot learn influence
+(Table II: AUC ≈ 0.41–0.48, i.e. at or below random).
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import EdgeProbabilityModel
+from repro.data.actionlog import ActionLog
+from repro.data.graph import SocialGraph
+from repro.diffusion.probabilities import EdgeProbabilities
+
+
+class DegreeModel(EdgeProbabilityModel):
+    """The DE baseline: ``P_uv = 1 / indegree(v)``."""
+
+    name = "DE"
+
+    def __init__(self) -> None:
+        self._probabilities: EdgeProbabilities | None = None
+
+    def fit(self, graph: SocialGraph, log: ActionLog) -> "DegreeModel":
+        """Fill the probability table; the action log is unused."""
+        in_degrees = graph.in_degrees()
+
+        def probability(source: int, target: int) -> float:
+            # Every edge's target has in-degree >= 1 (the edge itself).
+            return 1.0 / float(in_degrees[target])
+
+        self._probabilities = EdgeProbabilities.from_function(graph, probability)
+        return self
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._probabilities is not None
+
+    def edge_probabilities(self) -> EdgeProbabilities:
+        self._require_fitted()
+        assert self._probabilities is not None
+        return self._probabilities

@@ -1,0 +1,212 @@
+"""EM — expectation–maximisation learning of IC probabilities (Saito et al. [2]).
+
+Under the Independent Cascade model, an adoption of ``v`` in episode
+``i`` is explained by its set ``B_iv`` of in-neighbours that activated
+strictly earlier: the event fires with probability
+``1 - prod_{u in B_iv} (1 - p_uv)``.  A non-adoption with active
+in-neighbours is a joint failure ``prod (1 - p_uv)``.  Saito et al.
+maximise the resulting likelihood by EM:
+
+* **E-step** — responsibility of ``u`` for the adoption of ``v`` in
+  episode ``i``:
+
+  .. math:: \\gamma^i_{uv} = p_{uv} \\, / \\,
+            \\bigl(1 - \\prod_{u' \\in B_{iv}} (1 - p_{u'v})\\bigr)
+
+* **M-step** — ``p_uv`` becomes the mean responsibility over all
+  trials of the edge (successful episodes contribute ``gamma``, failed
+  trials contribute 0).
+
+The implementation flattens all (adoption-case, candidate-influencer)
+incidences into parallel arrays once, so every EM iteration is a few
+grouped numpy operations rather than Python-level graph walks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baselines.base import EdgeProbabilityModel
+from repro.data.actionlog import ActionLog
+from repro.data.graph import SocialGraph
+from repro.diffusion.probabilities import EdgeProbabilities
+from repro.errors import TrainingError
+from repro.utils.logging import get_logger
+from repro.utils.validation import check_positive_int, check_probability
+
+logger = get_logger("baselines.em_ic")
+
+_EPSILON = 1e-9
+
+
+@dataclass
+class _TrialData:
+    """Flattened incidence structure shared by all EM iterations."""
+
+    # One row per (positive adoption case, candidate influencer edge).
+    incidence_case: np.ndarray
+    incidence_edge: np.ndarray
+    num_cases: int
+    # Per-edge totals: positive trials + failed trials.
+    trials: np.ndarray
+
+
+class EMModel(EdgeProbabilityModel):
+    """The EM baseline for the IC model.
+
+    Parameters
+    ----------
+    max_iterations:
+        EM iteration cap (the paper observes convergence in 10–20).
+    tolerance:
+        Early stop when the max absolute probability change drops
+        below this.
+    initial_probability:
+        Starting value for every edge with at least one trial.
+    """
+
+    name = "EM"
+
+    def __init__(
+        self,
+        max_iterations: int = 20,
+        tolerance: float = 1e-4,
+        initial_probability: float = 0.1,
+    ):
+        self.max_iterations = check_positive_int("max_iterations", max_iterations)
+        if tolerance < 0:
+            raise TrainingError(f"tolerance must be >= 0, got {tolerance}")
+        self.tolerance = float(tolerance)
+        self.initial_probability = check_probability(
+            "initial_probability", initial_probability
+        )
+        if self.initial_probability == 0.0:
+            raise TrainingError("initial_probability must be > 0 for EM to move")
+        self._probabilities: EdgeProbabilities | None = None
+        self._iterations_run = 0
+
+    # ------------------------------------------------------------------
+    # Data preparation
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _edge_index(graph: SocialGraph) -> dict[tuple[int, int], int]:
+        return {
+            (int(u), int(v)): idx
+            for idx, (u, v) in enumerate(graph.edge_array())
+        }
+
+    def _collect_trials(
+        self, graph: SocialGraph, log: ActionLog
+    ) -> _TrialData:
+        edge_index = self._edge_index(graph)
+        incidence_case: list[int] = []
+        incidence_edge: list[int] = []
+        failed = np.zeros(graph.num_edges, dtype=np.int64)
+        num_cases = 0
+
+        for episode in log:
+            activation_order: dict[int, int] = {
+                int(u): k for k, u in enumerate(episode.users)
+            }
+            # Positive cases: one per adoption with earlier-active friends.
+            for user in episode.users:
+                user = int(user)
+                influencers = [
+                    int(f)
+                    for f in graph.in_neighbors(user)
+                    if int(f) in activation_order
+                    and activation_order[int(f)] < activation_order[user]
+                ]
+                if not influencers:
+                    continue
+                for friend in influencers:
+                    incidence_case.append(num_cases)
+                    incidence_edge.append(edge_index[(friend, user)])
+                num_cases += 1
+            # Failed trials: adopters' followers that never adopted.
+            adopters = set(activation_order)
+            for adopter in adopters:
+                for follower in graph.out_neighbors(adopter):
+                    follower = int(follower)
+                    if follower not in adopters:
+                        failed[edge_index[(adopter, follower)]] += 1
+
+        incidence_case_arr = np.asarray(incidence_case, dtype=np.int64)
+        incidence_edge_arr = np.asarray(incidence_edge, dtype=np.int64)
+        trials = failed.astype(np.float64)
+        if incidence_edge_arr.size:
+            np.add.at(trials, incidence_edge_arr, 1.0)
+        return _TrialData(
+            incidence_case=incidence_case_arr,
+            incidence_edge=incidence_edge_arr,
+            num_cases=num_cases,
+            trials=trials,
+        )
+
+    # ------------------------------------------------------------------
+    # EM loop
+    # ------------------------------------------------------------------
+
+    def fit(self, graph: SocialGraph, log: ActionLog) -> "EMModel":
+        """Run EM to convergence on the training log."""
+        data = self._collect_trials(graph, log)
+        probabilities = np.zeros(graph.num_edges, dtype=np.float64)
+        has_trials = data.trials > 0
+        probabilities[has_trials] = self.initial_probability
+
+        self._iterations_run = 0
+        for iteration in range(self.max_iterations):
+            updated = self._em_step(probabilities, data)
+            delta = float(np.max(np.abs(updated - probabilities))) if updated.size else 0.0
+            probabilities = updated
+            self._iterations_run = iteration + 1
+            logger.debug("EM iteration %d: max delta %.6g", iteration, delta)
+            if delta < self.tolerance:
+                break
+
+        self._probabilities = EdgeProbabilities(graph, probabilities)
+        return self
+
+    @staticmethod
+    def _em_step(probabilities: np.ndarray, data: _TrialData) -> np.ndarray:
+        success_sum = np.zeros_like(probabilities)
+        if data.incidence_edge.size:
+            p_k = probabilities[data.incidence_edge]
+            # Per-case joint failure probability prod(1 - p).
+            log_failure = np.zeros(data.num_cases, dtype=np.float64)
+            np.add.at(
+                log_failure,
+                data.incidence_case,
+                np.log1p(-np.clip(p_k, 0.0, 1.0 - _EPSILON)),
+            )
+            activation = 1.0 - np.exp(log_failure)
+            activation = np.maximum(activation, _EPSILON)
+            responsibilities = p_k / activation[data.incidence_case]
+            responsibilities = np.clip(responsibilities, 0.0, 1.0)
+            np.add.at(success_sum, data.incidence_edge, responsibilities)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            updated = np.where(
+                data.trials > 0, success_sum / data.trials, 0.0
+            )
+        return np.clip(updated, 0.0, 1.0)
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._probabilities is not None
+
+    @property
+    def iterations_run(self) -> int:
+        """Number of EM iterations executed by the last :meth:`fit`."""
+        return self._iterations_run
+
+    def edge_probabilities(self) -> EdgeProbabilities:
+        self._require_fitted()
+        assert self._probabilities is not None
+        return self._probabilities

@@ -1,0 +1,69 @@
+"""Inf2vec wrapped in the common :class:`InfluenceModel` interface.
+
+The core implementation lives in :mod:`repro.core.inf2vec`; this thin
+adapter lets the experiment harness treat Inf2vec — and its
+local-context-only ablation Inf2vec-L (Table IV, ``alpha = 1.0``) —
+exactly like every baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.baselines.base import EmbeddingModel
+from repro.core.embeddings import InfluenceEmbedding
+from repro.core.inf2vec import Inf2vecConfig, Inf2vecModel
+from repro.data.actionlog import ActionLog
+from repro.data.graph import SocialGraph
+from repro.utils.rng import SeedLike
+
+
+class Inf2vecMethod(EmbeddingModel):
+    """Inf2vec as an evaluable method.
+
+    Parameters
+    ----------
+    config:
+        Full :class:`Inf2vecConfig`; defaults to the paper's settings.
+    seed:
+        RNG seed for context generation and SGD.
+    """
+
+    name = "Inf2vec"
+
+    def __init__(self, config: Inf2vecConfig | None = None, seed: SeedLike = None):
+        self.config = config if config is not None else Inf2vecConfig()
+        self._model = Inf2vecModel(self.config, seed=seed)
+
+    def fit(self, graph: SocialGraph, log: ActionLog) -> "Inf2vecMethod":
+        self._model.fit(graph, log)
+        return self
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._model.is_fitted
+
+    def embedding(self) -> InfluenceEmbedding:
+        self._require_fitted()
+        return self._model.embedding
+
+    @property
+    def model(self) -> Inf2vecModel:
+        """The underlying trainer (loss history, etc.)."""
+        return self._model
+
+
+class Inf2vecLocalMethod(Inf2vecMethod):
+    """Inf2vec-L: the Table IV ablation using only local influence context.
+
+    Forces the component weight to ``alpha = 1.0`` so the entire
+    context budget goes to the random walk and no global
+    user-similarity samples are drawn.
+    """
+
+    name = "Inf2vec-L"
+
+    def __init__(self, config: Inf2vecConfig | None = None, seed: SeedLike = None):
+        base = config if config is not None else Inf2vecConfig()
+        forced = replace(base, context=replace(base.context, alpha=1.0))
+        super().__init__(forced, seed=seed)

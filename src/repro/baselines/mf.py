@@ -1,0 +1,174 @@
+"""MF — user–user matrix factorisation with BPR (Rendle et al. [30]).
+
+The paper's pure interest-similarity baseline: the implicit-feedback
+matrix entry ``R_uv`` is the number of actions users ``u`` and ``v``
+both performed; Bayesian Personalised Ranking factorises it so that
+co-acting pairs score higher than non-co-acting ones:
+
+.. math:: \\max \\sum_{(u, v^+, v^-)} \\ln \\sigma(x_{uv^+} - x_{uv^-})
+          - \\lambda \\lVert \\Theta \\rVert^2
+
+with ``x_{uv} = P_u \\cdot Q_v``.  The learned factors are exposed as a
+standard :class:`~repro.core.embeddings.InfluenceEmbedding` (zero
+biases) so the Eq. 7 evaluation path is identical to Inf2vec's — the
+paper's "MF only reflects the global user similarity" comparator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.special import expit
+
+from repro.baselines.base import EmbeddingModel
+from repro.core.embeddings import InfluenceEmbedding
+from repro.data.actionlog import ActionLog
+from repro.data.graph import SocialGraph
+from repro.errors import TrainingError
+from repro.utils.logging import get_logger
+from repro.utils.rng import SeedLike, ensure_rng
+from repro.utils.validation import check_positive, check_positive_int
+
+logger = get_logger("baselines.mf")
+
+
+class MFModel(EmbeddingModel):
+    """The MF baseline: BPR over the user–user co-action matrix.
+
+    Parameters
+    ----------
+    dim:
+        Latent dimensionality.
+    epochs:
+        BPR epochs; each epoch samples every observed positive pair
+        once (in random order) with a fresh negative.
+    learning_rate:
+        SGD step size.
+    regularization:
+        L2 coefficient ``lambda``.
+    max_pairs_per_episode:
+        Co-action pairs grow quadratically with episode size; episodes
+        beyond this cap contribute a uniform sample of their pairs.
+    seed:
+        RNG seed for initialisation and sampling.
+    """
+
+    name = "MF"
+
+    def __init__(
+        self,
+        dim: int = 16,
+        epochs: int = 10,
+        learning_rate: float = 0.05,
+        regularization: float = 0.01,
+        max_pairs_per_episode: int = 10_000,
+        seed: SeedLike = None,
+    ):
+        self.dim = check_positive_int("dim", dim)
+        self.epochs = check_positive_int("epochs", epochs)
+        self.learning_rate = check_positive("learning_rate", learning_rate)
+        if regularization < 0:
+            raise TrainingError(
+                f"regularization must be >= 0, got {regularization}"
+            )
+        self.regularization = float(regularization)
+        self.max_pairs_per_episode = check_positive_int(
+            "max_pairs_per_episode", max_pairs_per_episode
+        )
+        self._rng = ensure_rng(seed)
+        self._embedding: InfluenceEmbedding | None = None
+        self._positive_sets: list[set[int]] | None = None
+
+    # ------------------------------------------------------------------
+    # Co-action extraction
+    # ------------------------------------------------------------------
+
+    def _co_action_pairs(self, log: ActionLog) -> np.ndarray:
+        """All (sampled) ordered co-action pairs as an ``(m, 2)`` array."""
+        pairs: list[tuple[int, int]] = []
+        for episode in log:
+            users = episode.users
+            size = users.shape[0]
+            if size < 2:
+                continue
+            total = size * (size - 1)
+            if total <= self.max_pairs_per_episode:
+                for u in users:
+                    for v in users:
+                        if u != v:
+                            pairs.append((int(u), int(v)))
+            else:
+                picks = self._rng.integers(size, size=(self.max_pairs_per_episode, 2))
+                for a, b in picks:
+                    if a != b:
+                        pairs.append((int(users[a]), int(users[b])))
+        if not pairs:
+            return np.empty((0, 2), dtype=np.int64)
+        return np.asarray(pairs, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # BPR training
+    # ------------------------------------------------------------------
+
+    def fit(self, graph: SocialGraph, log: ActionLog) -> "MFModel":
+        """Learn the factors with BPR; the social graph is unused."""
+        num_users = graph.num_nodes
+        pairs = self._co_action_pairs(log)
+        source = self._rng.normal(scale=0.1, size=(num_users, self.dim))
+        target = self._rng.normal(scale=0.1, size=(num_users, self.dim))
+
+        positive_sets: list[set[int]] = [set() for _ in range(num_users)]
+        for u, v in pairs:
+            positive_sets[u].add(int(v))
+        self._positive_sets = positive_sets
+
+        if pairs.shape[0] == 0:
+            logger.warning("MF found no co-action pairs; factors stay random")
+            self._embedding = InfluenceEmbedding(
+                source, target, np.zeros(num_users), np.zeros(num_users)
+            )
+            return self
+
+        lr = self.learning_rate
+        reg = self.regularization
+        for epoch in range(self.epochs):
+            order = self._rng.permutation(pairs.shape[0])
+            negatives = self._rng.integers(num_users, size=pairs.shape[0])
+            for row, raw_negative in zip(order, negatives):
+                u, pos = int(pairs[row, 0]), int(pairs[row, 1])
+                neg = int(raw_negative)
+                if neg in positive_sets[u] or neg == u:
+                    continue  # skip accidental positives
+                x_upos = source[u] @ target[pos]
+                x_uneg = source[u] @ target[neg]
+                gradient_weight = expit(-(x_upos - x_uneg))
+                grad_u = gradient_weight * (target[pos] - target[neg]) - reg * source[u]
+                grad_pos = gradient_weight * source[u] - reg * target[pos]
+                grad_neg = -gradient_weight * source[u] - reg * target[neg]
+                source[u] += lr * grad_u
+                target[pos] += lr * grad_pos
+                target[neg] += lr * grad_neg
+            logger.debug("BPR epoch %d complete", epoch)
+
+        self._embedding = InfluenceEmbedding(
+            source, target, np.zeros(num_users), np.zeros(num_users)
+        )
+        return self
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._embedding is not None
+
+    def embedding(self) -> InfluenceEmbedding:
+        self._require_fitted()
+        assert self._embedding is not None
+        return self._embedding
+
+    def co_action_count(self, user: int) -> int:
+        """Number of distinct co-actors observed for ``user`` in training."""
+        self._require_fitted()
+        assert self._positive_sets is not None
+        return len(self._positive_sets[int(user)])

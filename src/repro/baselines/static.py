@@ -1,0 +1,98 @@
+"""ST — the static maximum-likelihood model of Goyal et al. [3].
+
+Estimates each edge's influence probability by co-occurrence counting:
+
+.. math::
+
+    P_{uv} = A_{u2v} / A_u
+
+where ``A_{u2v}`` counts actions that ``u`` performed before their
+follower ``v`` (successful influence attempts) and ``A_u`` counts all
+actions ``u`` performed (trials).  This is the "static (Bernoulli)"
+model in Goyal et al.'s taxonomy — simple, fast, and a strong baseline
+in the paper's Tables II–III.
+
+A Laplace-style smoothing option is provided (off by default to match
+the paper) because the raw MLE assigns probability 0 to every edge
+without an observed propagation — precisely the sparsity failure mode
+Inf2vec targets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import EdgeProbabilityModel
+from repro.core.pairs import extract_episode_pairs
+from repro.data.actionlog import ActionLog
+from repro.data.graph import SocialGraph
+from repro.diffusion.probabilities import EdgeProbabilities
+from repro.errors import TrainingError
+
+
+class StaticModel(EdgeProbabilityModel):
+    """The ST baseline: ``P_uv = A_{u2v} / A_u``.
+
+    Parameters
+    ----------
+    smoothing:
+        Additive smoothing ``P_uv = (A_{u2v} + smoothing) /
+        (A_u + 2 * smoothing)``; 0 reproduces the paper's raw MLE.
+    """
+
+    name = "ST"
+
+    def __init__(self, smoothing: float = 0.0):
+        if smoothing < 0:
+            raise TrainingError(f"smoothing must be >= 0, got {smoothing}")
+        self.smoothing = float(smoothing)
+        self._probabilities: EdgeProbabilities | None = None
+        self._success_counts: dict[tuple[int, int], int] | None = None
+        self._trial_counts: np.ndarray | None = None
+
+    def fit(self, graph: SocialGraph, log: ActionLog) -> "StaticModel":
+        """Count successes per edge and trials per user over ``log``."""
+        successes: dict[tuple[int, int], int] = {}
+        trials = np.zeros(graph.num_nodes, dtype=np.int64)
+        for episode in log:
+            trials[episode.users] += 1
+            for source, target in extract_episode_pairs(graph, episode):
+                key = (int(source), int(target))
+                successes[key] = successes.get(key, 0) + 1
+
+        smoothing = self.smoothing
+
+        def probability(source: int, target: int) -> float:
+            success = successes.get((source, target), 0)
+            trial = int(trials[source])
+            numerator = success + smoothing
+            denominator = trial + 2.0 * smoothing
+            if denominator == 0:
+                return 0.0
+            return min(1.0, numerator / denominator)
+
+        self._probabilities = EdgeProbabilities.from_function(graph, probability)
+        self._success_counts = successes
+        self._trial_counts = trials
+        return self
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._probabilities is not None
+
+    def edge_probabilities(self) -> EdgeProbabilities:
+        self._require_fitted()
+        assert self._probabilities is not None
+        return self._probabilities
+
+    def success_count(self, source: int, target: int) -> int:
+        """``A_{u2v}`` for one edge (0 when never observed)."""
+        self._require_fitted()
+        assert self._success_counts is not None
+        return self._success_counts.get((int(source), int(target)), 0)
+
+    def trial_count(self, user: int) -> int:
+        """``A_u`` — total actions performed by ``user`` in training."""
+        self._require_fitted()
+        assert self._trial_counts is not None
+        return int(self._trial_counts[int(user)])

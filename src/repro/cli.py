@@ -1,0 +1,105 @@
+"""Command-line interface: ``python -m repro.cli <experiment> [options]``.
+
+Runs any of the paper's experiment pipelines and prints the
+corresponding table/figure, e.g.::
+
+    python -m repro.cli table2 --scale small --seed 0
+    python -m repro.cli fig3
+    python -m repro.cli all --scale small
+
+``all`` runs every experiment in paper order — the one-command full
+reproduction.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Mapping
+
+from repro.experiments import (
+    fig1_2_powerlaw,
+    fig3_cdf,
+    fig6_visualization,
+    fig7_dimension,
+    fig8_context_length,
+    fig9_efficiency,
+    significance,
+    table1_stats,
+    table2_activation,
+    table3_diffusion,
+    table4_ablation,
+    table5_aggregation,
+    table6_casestudy,
+)
+
+#: Experiment name -> (description, main callable).
+EXPERIMENTS: Mapping[str, tuple[str, Callable[[str, int], None]]] = {
+    "table1": ("Table I — dataset statistics", table1_stats.main),
+    "fig1-2": ("Figures 1-2 — power-law pair frequencies", fig1_2_powerlaw.main),
+    "fig3": ("Figure 3 — active-friend CDF", fig3_cdf.main),
+    "table2": ("Table II — activation prediction", table2_activation.main),
+    "table3": ("Table III — diffusion prediction", table3_diffusion.main),
+    "table4": ("Table IV — Inf2vec-L ablation", table4_ablation.main),
+    "table5": ("Table V — aggregation functions", table5_aggregation.main),
+    "fig6": ("Figure 6 — t-SNE visualisation", fig6_visualization.main),
+    "fig7": ("Figure 7 — dimension sweep", fig7_dimension.main),
+    "fig8": ("Figure 8 — context-length sweep", fig8_context_length.main),
+    "fig9": ("Figure 9 — per-iteration efficiency", fig9_efficiency.main),
+    "table6": ("Table VI — citation case study", table6_casestudy.main),
+    "sigma": ("Multi-run mean ± σ + significance protocol", significance.main),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the tables and figures of Inf2vec (ICDE 2018).",
+    )
+    choices = list(EXPERIMENTS) + ["all"]
+    parser.add_argument(
+        "experiment",
+        choices=choices,
+        help="which table/figure to regenerate ('all' runs everything)",
+    )
+    parser.add_argument(
+        "--scale",
+        default="small",
+        choices=("small", "medium"),
+        help="working-point size (default: small)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="master RNG seed (default: 0)"
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list experiments and exit"
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name, (description, _main) in EXPERIMENTS.items():
+            print(f"{name:<10} {description}")
+        return 0
+
+    if args.experiment == "all":
+        names = list(EXPERIMENTS)
+    else:
+        names = [args.experiment]
+
+    for name in names:
+        description, runner = EXPERIMENTS[name]
+        print(f"=== {description} (scale={args.scale}, seed={args.seed}) ===")
+        runner(args.scale, args.seed)
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,74 @@
+"""Aggregation functions for multi-influencer likelihoods (Eq. 7).
+
+A candidate user ``v`` may be influenced by several already-active
+users ``S_v``.  Latent-representation models combine the pairwise
+scores ``x(u, v)`` with an aggregation function ``F``:
+
+* ``Ave`` — mean of all scores (the paper's default and Table V winner),
+* ``Sum`` — their sum,
+* ``Max`` — the strongest single influencer,
+* ``Latest`` — only the most recently activated influencer.
+
+``Latest`` depends on activation order, so aggregators receive scores
+in the order the influencers activated (earliest first).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+import numpy as np
+
+from repro.errors import EvaluationError
+
+#: Signature shared by all aggregators: scores (earliest-activated
+#: influencer first) -> combined likelihood.
+Aggregator = Callable[[np.ndarray], float]
+
+
+def _require_scores(scores: np.ndarray) -> np.ndarray:
+    scores = np.asarray(scores, dtype=np.float64)
+    if scores.ndim != 1:
+        raise EvaluationError(f"scores must be 1-D, got shape {scores.shape}")
+    if scores.shape[0] == 0:
+        raise EvaluationError("cannot aggregate an empty score list")
+    return scores
+
+
+def ave(scores: np.ndarray) -> float:
+    """Mean of all influencer scores."""
+    return float(_require_scores(scores).mean())
+
+
+def total(scores: np.ndarray) -> float:
+    """Sum of all influencer scores (the paper's ``Sum``)."""
+    return float(_require_scores(scores).sum())
+
+
+def maximum(scores: np.ndarray) -> float:
+    """The single strongest influencer score (the paper's ``Max``)."""
+    return float(_require_scores(scores).max())
+
+
+def latest(scores: np.ndarray) -> float:
+    """Score of the most recently activated influencer (``x_n``)."""
+    return float(_require_scores(scores)[-1])
+
+
+AGGREGATORS: Mapping[str, Aggregator] = {
+    "ave": ave,
+    "sum": total,
+    "max": maximum,
+    "latest": latest,
+}
+
+
+def get_aggregator(name: str) -> Aggregator:
+    """Look up an aggregator by its paper name (case-insensitive)."""
+    key = name.strip().lower()
+    try:
+        return AGGREGATORS[key]
+    except KeyError:
+        raise EvaluationError(
+            f"unknown aggregator {name!r}; choose from {sorted(AGGREGATORS)}"
+        ) from None

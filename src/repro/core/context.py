@@ -1,0 +1,261 @@
+"""Influence-context generation (Algorithm 1 of the paper).
+
+For a user ``u`` inside an episode's propagation network the *influence
+context* ``C_u^i`` blends two constituents:
+
+* **Local influence context** — ``L * alpha`` users produced by a
+  random walk with restart on the propagation DAG, starting at ``u``.
+  At every step the walk returns to ``u`` with probability
+  ``restart_prob`` (0.5 in the paper, following node2vec's default) and
+  otherwise moves to a uniformly chosen successor of the current node.
+  Visited users (excluding ``u`` itself) are recorded until the length
+  budget is exhausted; a walk stuck at a node with no successors
+  restarts from ``u``.  If ``u`` cannot reach anyone (no successors at
+  all), the local component is empty — there is nobody it influenced.
+
+* **Global user-similarity context** — ``L * (1 - alpha)`` users
+  sampled uniformly *with replacement* from all adopters ``V_i`` of the
+  item (excluding ``u``), capturing "users who performed the same
+  action share interests".
+
+The component weight ``alpha`` is the paper's α (default 0.1 tuned on
+the validation set; α = 1.0 yields the Inf2vec-L ablation of Table IV).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from repro.core.propagation import PropagationNetwork
+from repro.data.actionlog import ActionLog
+from repro.data.graph import SocialGraph
+from repro.errors import TrainingError
+from repro.utils.rng import RandomState, SeedLike, ensure_rng
+from repro.utils.validation import check_positive_int, check_probability
+
+#: Restart probability of the random walk, the paper's fixed choice.
+DEFAULT_RESTART_PROB = 0.5
+
+
+@dataclass(frozen=True)
+class ContextConfig:
+    """Hyper-parameters of Algorithm 1.
+
+    Attributes
+    ----------
+    length:
+        Length threshold ``L`` — total context size budget (paper
+        default 50).
+    alpha:
+        Component weight α in [0, 1]: fraction of the budget spent on
+        the local random-walk context (paper default 0.1).
+    restart_prob:
+        Restart probability of the walk (paper uses 0.5).
+    """
+
+    length: int = 50
+    alpha: float = 0.1
+    restart_prob: float = DEFAULT_RESTART_PROB
+
+    def __post_init__(self) -> None:
+        check_positive_int("length", self.length)
+        check_probability("alpha", self.alpha)
+        check_probability("restart_prob", self.restart_prob)
+
+    @property
+    def local_budget(self) -> int:
+        """``L * alpha`` rounded to the nearest integer."""
+        return int(round(self.length * self.alpha))
+
+    @property
+    def global_budget(self) -> int:
+        """``L * (1 - alpha)``: the remainder of the budget."""
+        return self.length - self.local_budget
+
+
+@dataclass(frozen=True)
+class InfluenceContext:
+    """One ``(u, C_u^i)`` tuple produced by Algorithm 1.
+
+    ``local`` and ``global_`` keep the two constituents separate so the
+    trainer and the ablation analyses can distinguish them; ``users``
+    concatenates them in generation order, which is the paper's
+    ``C_u^i = C_1 + C_2``.
+    """
+
+    user: int
+    item: int
+    local: tuple[int, ...]
+    global_: tuple[int, ...]
+
+    @property
+    def users(self) -> tuple[int, ...]:
+        """The full context ``C_1 + C_2``."""
+        return self.local + self.global_
+
+    def __len__(self) -> int:
+        return len(self.local) + len(self.global_)
+
+
+def random_walk_with_restart(
+    network: PropagationNetwork,
+    start: int,
+    budget: int,
+    restart_prob: float,
+    rng: RandomState,
+) -> list[int]:
+    """Collect up to ``budget`` visited users by a restarting walk.
+
+    The walk starts at ``start`` and records every node it moves to
+    (``start`` itself is never recorded).  With probability
+    ``restart_prob`` a step jumps back to ``start`` without recording;
+    otherwise it moves to a uniform random successor of the current
+    node.  Dead ends (no successors) force a restart.
+
+    Returns fewer than ``budget`` users only when ``start`` has no
+    successors at all, in which case the list is empty.
+    """
+    if budget <= 0:
+        return []
+    start = int(start)
+    if network.out_degree(start) == 0:
+        return []
+    visited: list[int] = []
+    current = start
+    while len(visited) < budget:
+        successors = network.successors(current)
+        if current != start and rng.random() < restart_prob:
+            current = start
+            continue
+        if successors.shape[0] == 0:
+            current = start
+            continue
+        current = int(successors[rng.integers(successors.shape[0])])
+        visited.append(current)
+    return visited
+
+
+def sample_global_context(
+    network: PropagationNetwork,
+    user: int,
+    budget: int,
+    rng: RandomState,
+) -> list[int]:
+    """Uniformly sample ``budget`` co-adopters of the item (with replacement).
+
+    The user themself is excluded; if they are the only adopter the
+    global context is empty.
+    """
+    if budget <= 0:
+        return []
+    candidates = network.nodes[network.nodes != int(user)]
+    if candidates.shape[0] == 0:
+        return []
+    picks = rng.integers(candidates.shape[0], size=budget)
+    return [int(candidates[p]) for p in picks]
+
+
+def generate_context(
+    network: PropagationNetwork,
+    user: int,
+    config: ContextConfig,
+    rng: RandomState,
+) -> InfluenceContext:
+    """Algorithm 1: blend local-walk and global-similarity contexts."""
+    local = random_walk_with_restart(
+        network, user, config.local_budget, config.restart_prob, rng
+    )
+    global_ = sample_global_context(network, user, config.global_budget, rng)
+    return InfluenceContext(
+        user=int(user),
+        item=network.item,
+        local=tuple(local),
+        global_=tuple(global_),
+    )
+
+
+def generate_episode_contexts(
+    network: PropagationNetwork,
+    config: ContextConfig,
+    rng: RandomState,
+) -> list[InfluenceContext]:
+    """One ``(u, C_u^i)`` tuple per adopter of the episode (``P_{D_i}``).
+
+    Contexts that come out completely empty (isolated single-adopter
+    episodes) are dropped — they contribute nothing to the objective.
+    """
+    contexts = []
+    for user in network.nodes:
+        context = generate_context(network, int(user), config, rng)
+        if len(context) > 0:
+            contexts.append(context)
+    return contexts
+
+
+class ContextGenerator:
+    """Generates the full training corpus ``P`` from a graph + action log.
+
+    This is the first half of Algorithm 2 (lines 3–8): extract each
+    episode's propagation network, then run Algorithm 1 for every
+    adopter.
+
+    Parameters
+    ----------
+    graph:
+        The social network.
+    config:
+        Algorithm 1 hyper-parameters.
+    seed:
+        RNG seed/generator; drawing contexts twice from generators
+        constructed with the same seed yields identical corpora.
+    """
+
+    def __init__(
+        self,
+        graph: SocialGraph,
+        config: ContextConfig | None = None,
+        seed: SeedLike = None,
+    ):
+        self._graph = graph
+        self._config = config if config is not None else ContextConfig()
+        self._rng = ensure_rng(seed)
+
+    @property
+    def config(self) -> ContextConfig:
+        """The Algorithm 1 hyper-parameters in use."""
+        return self._config
+
+    def iter_contexts(self, log: ActionLog) -> Iterator[InfluenceContext]:
+        """Stream contexts episode by episode (lines 3–8 of Algorithm 2)."""
+        if log.num_users > self._graph.num_nodes:
+            raise TrainingError(
+                f"action log has {log.num_users} users but the graph only "
+                f"has {self._graph.num_nodes} nodes"
+            )
+        for episode in log:
+            network = PropagationNetwork.from_episode(self._graph, episode)
+            yield from generate_episode_contexts(network, self._config, self._rng)
+
+    def generate(self, log: ActionLog) -> list[InfluenceContext]:
+        """Materialise the whole corpus ``P`` as a list."""
+        return list(self.iter_contexts(log))
+
+
+def corpus_statistics(contexts: Sequence[InfluenceContext]) -> dict[str, float]:
+    """Summary statistics of a generated corpus (for logging/tests)."""
+    if not contexts:
+        return {
+            "num_tuples": 0,
+            "total_context_users": 0,
+            "mean_context_size": 0.0,
+            "local_fraction": 0.0,
+        }
+    total = sum(len(c) for c in contexts)
+    local = sum(len(c.local) for c in contexts)
+    return {
+        "num_tuples": len(contexts),
+        "total_context_users": total,
+        "mean_context_size": total / len(contexts),
+        "local_fraction": local / total if total else 0.0,
+    }

@@ -1,0 +1,112 @@
+"""Negative sampling for the skip-gram objective (Eq. 4).
+
+Computing the softmax normaliser ``Z(u)`` of Eq. 3 needs a pass over
+every user; negative sampling replaces it with ``|N|`` sampled
+"negative" users per positive observation.  Word2vec draws negatives
+from the unigram distribution raised to the 3/4 power; we default to
+the same but also expose a uniform sampler so the design choice can be
+ablated (``benchmarks/bench_ablation_negatives.py``).
+
+The sampler pre-builds an alias-free cumulative table once and then
+draws in O(log V) per sample via ``searchsorted`` (vectorised for whole
+batches), which keeps the pure-Python trainer fast enough for the
+experiment suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import TrainingError
+from repro.utils.rng import RandomState
+from repro.utils.validation import check_positive_int
+
+#: Word2vec's distortion exponent for the unigram distribution.
+UNIGRAM_DISTORTION = 0.75
+
+
+class NegativeSampler:
+    """Draws negative users from a fixed categorical distribution.
+
+    Parameters
+    ----------
+    weights:
+        Non-negative, not-all-zero weight per user.  The sampling
+        distribution is ``weights / weights.sum()``.
+    """
+
+    def __init__(self, weights: np.ndarray):
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.ndim != 1:
+            raise TrainingError(f"weights must be 1-D, got shape {weights.shape}")
+        if weights.shape[0] == 0:
+            raise TrainingError("cannot sample negatives from zero users")
+        if np.any(weights < 0) or not np.all(np.isfinite(weights)):
+            raise TrainingError("weights must be finite and non-negative")
+        total = weights.sum()
+        if total <= 0:
+            raise TrainingError("at least one weight must be positive")
+        self._cumulative = np.cumsum(weights / total)
+        # Guard the top end against floating-point drift so that a
+        # random draw of exactly 1.0-eps never lands out of range.
+        self._cumulative[-1] = 1.0
+        self._num_users = weights.shape[0]
+
+    @classmethod
+    def uniform(cls, num_users: int) -> "NegativeSampler":
+        """Uniform distribution over all users."""
+        num_users = check_positive_int("num_users", num_users)
+        return cls(np.ones(num_users))
+
+    @classmethod
+    def from_frequencies(
+        cls,
+        frequencies: np.ndarray,
+        distortion: float = UNIGRAM_DISTORTION,
+        smoothing: float = 1.0,
+    ) -> "NegativeSampler":
+        """Word2vec-style distorted unigram distribution.
+
+        Parameters
+        ----------
+        frequencies:
+            Occurrence count per user (how often the user appears as a
+            context member in the corpus).
+        distortion:
+            The exponent (word2vec uses 0.75).
+        smoothing:
+            Added to every count so users never observed as context can
+            still be drawn as negatives — important because unobserved
+            users are exactly the ones the model should push scores
+            down for.
+        """
+        frequencies = np.asarray(frequencies, dtype=np.float64)
+        if np.any(frequencies < 0):
+            raise TrainingError("frequencies must be non-negative")
+        if smoothing < 0:
+            raise TrainingError(f"smoothing must be >= 0, got {smoothing}")
+        return cls(np.power(frequencies + smoothing, distortion))
+
+    @property
+    def num_users(self) -> int:
+        """Support size of the distribution."""
+        return self._num_users
+
+    def probabilities(self) -> np.ndarray:
+        """The normalised sampling distribution (for tests/inspection)."""
+        probs = np.diff(self._cumulative, prepend=0.0)
+        return probs
+
+    def sample(self, count: int, rng: RandomState) -> np.ndarray:
+        """Draw ``count`` user IDs i.i.d. from the distribution."""
+        if count < 0:
+            raise TrainingError(f"count must be >= 0, got {count}")
+        if count == 0:
+            return np.empty(0, dtype=np.int64)
+        draws = rng.random(count)
+        return np.searchsorted(self._cumulative, draws, side="right").astype(np.int64)
+
+    def sample_matrix(self, rows: int, cols: int, rng: RandomState) -> np.ndarray:
+        """Draw a ``(rows, cols)`` matrix of negatives in one shot."""
+        flat = self.sample(rows * cols, rng)
+        return flat.reshape(rows, cols)

@@ -1,0 +1,149 @@
+"""Social influence pairs (Definition 1 of the paper).
+
+Given a social network ``G = (V, E)`` and a diffusion episode ``D_i``,
+a *social influence pair* ``u -> v`` exists when
+
+1. both users are in ``V``,
+2. the directed edge ``(u, v)`` is in ``E``, and
+3. ``u`` adopted item ``i`` strictly before ``v``.
+
+These pairs are the raw observations everything else is built from:
+per-episode propagation networks (Definition 3), the frequency
+distributions of Figures 1–2, and the training signal of the ST/EM
+baselines.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from repro.data.actionlog import ActionLog, DiffusionEpisode
+from repro.data.graph import SocialGraph
+
+
+@dataclass(frozen=True)
+class InfluencePair:
+    """A directed influence observation ``source -> target`` for ``item``."""
+
+    source: int
+    target: int
+    item: int
+
+
+def extract_episode_pairs(
+    graph: SocialGraph, episode: DiffusionEpisode
+) -> np.ndarray:
+    """All influence pairs of one episode as an ``(m, 2)`` int64 array.
+
+    For each adopter ``v`` (in chronological order) we intersect their
+    in-neighbours with the set of users that adopted strictly earlier;
+    each such earlier friend ``u`` yields a pair ``(u, v)``.
+
+    Strictness matters: simultaneous adoptions (equal timestamps) do
+    not create pairs in either direction, matching condition (3) of
+    Definition 1.
+    """
+    pairs: list[tuple[int, int]] = []
+    times = episode.times
+    users = episode.users
+    adoption_time = {int(u): float(t) for u, t in zip(users, times)}
+    for v, t_v in zip(users, times):
+        v = int(v)
+        for u in graph.in_neighbors(v):
+            u = int(u)
+            t_u = adoption_time.get(u)
+            if t_u is not None and t_u < t_v:
+                pairs.append((u, v))
+    if not pairs:
+        return np.empty((0, 2), dtype=np.int64)
+    return np.asarray(pairs, dtype=np.int64)
+
+
+def extract_all_pairs(graph: SocialGraph, log: ActionLog) -> list[InfluencePair]:
+    """Influence pairs of every episode in ``log`` (with item labels)."""
+    result: list[InfluencePair] = []
+    for episode in log:
+        for source, target in extract_episode_pairs(graph, episode):
+            result.append(InfluencePair(int(source), int(target), episode.item))
+    return result
+
+
+@dataclass(frozen=True)
+class PairFrequencies:
+    """Aggregate influence-pair counts over an action log.
+
+    Attributes
+    ----------
+    num_users:
+        Size of the user universe.
+    source_counts:
+        ``source_counts[u]`` = number of pairs where ``u`` is the
+        source (Figure 1's variable).
+    target_counts:
+        ``target_counts[v]`` = number of pairs where ``v`` is the
+        target (Figure 2's variable).
+    pair_counts:
+        ``Counter`` mapping ``(source, target)`` to the number of
+        episodes in which that influence pair was observed; feeds the
+        "most frequent pairs" selection of the Figure 6 visualisation.
+    """
+
+    num_users: int
+    source_counts: np.ndarray
+    target_counts: np.ndarray
+    pair_counts: Counter
+
+    @property
+    def total_pairs(self) -> int:
+        """Total number of influence-pair observations."""
+        return int(self.source_counts.sum())
+
+    def top_pairs(self, count: int) -> list[tuple[int, int]]:
+        """The ``count`` most frequent pairs (ties broken deterministically)."""
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        ranked = sorted(
+            self.pair_counts.items(), key=lambda kv: (-kv[1], kv[0])
+        )
+        return [pair for pair, _ in ranked[:count]]
+
+
+def pair_frequencies(graph: SocialGraph, log: ActionLog) -> PairFrequencies:
+    """Count source/target/pair frequencies over all episodes of ``log``.
+
+    This is the statistic behind Figures 1 and 2 of the paper (both
+    follow power laws on Digg and Flickr) and the pair ranking used by
+    the Figure 6 visualisation.
+    """
+    source_counts = np.zeros(log.num_users, dtype=np.int64)
+    target_counts = np.zeros(log.num_users, dtype=np.int64)
+    pair_counts: Counter = Counter()
+    for episode in log:
+        episode_pairs = extract_episode_pairs(graph, episode)
+        if episode_pairs.shape[0] == 0:
+            continue
+        np.add.at(source_counts, episode_pairs[:, 0], 1)
+        np.add.at(target_counts, episode_pairs[:, 1], 1)
+        pair_counts.update(
+            (int(s), int(t)) for s, t in episode_pairs
+        )
+    return PairFrequencies(
+        num_users=log.num_users,
+        source_counts=source_counts,
+        target_counts=target_counts,
+        pair_counts=pair_counts,
+    )
+
+
+def frequency_histogram(counts: Iterable[int]) -> dict[int, int]:
+    """Histogram of per-user frequencies, excluding zero-frequency users.
+
+    Returns a mapping ``frequency -> number of users with that
+    frequency`` — exactly the (x, y) points plotted in Figures 1–2.
+    """
+    histogram: Counter = Counter(int(c) for c in counts if int(c) > 0)
+    return dict(sorted(histogram.items()))

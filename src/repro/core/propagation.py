@@ -1,0 +1,161 @@
+"""Per-episode influence propagation networks (Definition 3).
+
+Combining all the influence pairs of a single diffusion episode yields
+the *influence propagation network* ``G_i = (V_i, E_i)``: a subgraph of
+the social network whose edges all point forward in adoption time.
+Because of the strict time ordering, ``G_i`` is a directed acyclic
+graph (each node may have several parents and several children — Fig 5
+of the paper).
+
+The propagation network is the substrate of Algorithm 1's random walk
+(local influence context); its node set ``V_i`` — everyone who adopted
+the item *and* touched at least one influence pair, plus isolated
+adopters — supplies the global user-similarity samples.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.core.pairs import extract_episode_pairs
+from repro.data.actionlog import DiffusionEpisode
+from repro.data.graph import SocialGraph
+from repro.errors import GraphError
+
+
+class PropagationNetwork:
+    """A directed acyclic influence-propagation graph for one episode.
+
+    Nodes keep their *original* social-network IDs.  Adjacency is a
+    plain dict of numpy arrays because these graphs are small (one
+    episode) and are rebuilt per episode during context generation.
+
+    Parameters
+    ----------
+    item:
+        The episode's item identifier.
+    adopters:
+        Every user that adopted the item, in chronological order.
+        Adopters with no incident influence pair are still members of
+        ``nodes`` — the paper samples the *global* context uniformly
+        from ``V_i``, i.e. from all adopters of the item.
+    edges:
+        ``(m, 2)`` array of influence pairs ``(earlier, later)``.
+    """
+
+    def __init__(self, item: int, adopters: np.ndarray, edges: np.ndarray):
+        self._item = int(item)
+        self._adopters = np.asarray(adopters, dtype=np.int64)
+        edges = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+        adopter_set = set(self._adopters.tolist())
+        for endpoint in edges.flat:
+            if int(endpoint) not in adopter_set:
+                raise GraphError(
+                    f"edge endpoint {int(endpoint)} is not an adopter of "
+                    f"item {item}"
+                )
+        self._edges = edges
+        self._successors: dict[int, list[int]] = {}
+        self._predecessors: dict[int, list[int]] = {}
+        for source, target in edges:
+            self._successors.setdefault(int(source), []).append(int(target))
+            self._predecessors.setdefault(int(target), []).append(int(source))
+        self._successor_arrays: dict[int, np.ndarray] = {
+            node: np.asarray(sorted(children), dtype=np.int64)
+            for node, children in self._successors.items()
+        }
+
+    @classmethod
+    def from_episode(
+        cls, graph: SocialGraph, episode: DiffusionEpisode
+    ) -> "PropagationNetwork":
+        """Extract the propagation network of ``episode`` within ``graph``."""
+        edges = extract_episode_pairs(graph, episode)
+        return cls(episode.item, episode.users, edges)
+
+    @property
+    def item(self) -> int:
+        """Item identifier of the underlying episode."""
+        return self._item
+
+    @property
+    def nodes(self) -> np.ndarray:
+        """All adopters of the item, in chronological order (``V_i``)."""
+        return self._adopters
+
+    @property
+    def num_nodes(self) -> int:
+        """``|V_i|``."""
+        return int(self._adopters.shape[0])
+
+    @property
+    def num_edges(self) -> int:
+        """``|E_i|``."""
+        return int(self._edges.shape[0])
+
+    def edge_array(self) -> np.ndarray:
+        """Influence-pair edges as an ``(m, 2)`` int64 array."""
+        return self._edges.copy()
+
+    def successors(self, node: int) -> np.ndarray:
+        """Users directly influenced by ``node`` in this episode."""
+        return self._successor_arrays.get(int(node), _EMPTY)
+
+    def predecessors(self, node: int) -> list[int]:
+        """Users that directly influenced ``node`` in this episode."""
+        return list(self._predecessors.get(int(node), []))
+
+    def out_degree(self, node: int) -> int:
+        """Number of users directly influenced by ``node``."""
+        return int(self.successors(node).shape[0])
+
+    def roots(self) -> list[int]:
+        """Adopters with no influencing predecessor (cascade sources)."""
+        return [
+            int(node)
+            for node in self._adopters
+            if int(node) not in self._predecessors
+        ]
+
+    def is_acyclic(self) -> bool:
+        """Verify the DAG property (always true for valid episode data).
+
+        Runs Kahn's algorithm; exposed for tests and for loaders that
+        ingest third-party cascade files where timestamps may have been
+        corrupted.
+        """
+        in_degree = {int(n): 0 for n in self._adopters}
+        for _, target in self._edges:
+            in_degree[int(target)] += 1
+        frontier = [n for n, d in in_degree.items() if d == 0]
+        visited = 0
+        while frontier:
+            node = frontier.pop()
+            visited += 1
+            for child in self.successors(node):
+                child = int(child)
+                in_degree[child] -= 1
+                if in_degree[child] == 0:
+                    frontier.append(child)
+        return visited == len(in_degree)
+
+    def __repr__(self) -> str:
+        return (
+            f"PropagationNetwork(item={self._item}, "
+            f"nodes={self.num_nodes}, edges={self.num_edges})"
+        )
+
+
+_EMPTY = np.empty(0, dtype=np.int64)
+
+
+def build_propagation_networks(
+    graph: SocialGraph, episodes
+) -> Mapping[int, PropagationNetwork]:
+    """Propagation network per episode, keyed by item."""
+    return {
+        episode.item: PropagationNetwork.from_episode(graph, episode)
+        for episode in episodes
+    }

@@ -1,0 +1,138 @@
+"""Parsers for the public Digg 2009 dataset (Lerman & Ghosh, ICWSM'10).
+
+The crawl the paper uses ships as two quoted CSV files:
+
+* ``digg_friends.csv`` — ``"mutual","friend_date","user_id","friend_id"``:
+  ``user_id`` lists ``friend_id`` as a friend, i.e. ``user_id`` watches
+  ``friend_id``; influence flows ``friend_id -> user_id``.  When
+  ``mutual`` is ``1`` the tie is reciprocal.
+* ``digg_votes.csv`` — ``"date","voter_id","story_id"``: one vote per
+  line, Unix timestamps.
+
+These parsers accept exactly that layout (with or without header
+lines) and emit the library's :class:`SocialGraph` / :class:`ActionLog`
+pair, so the real crawl drops into every experiment via::
+
+    graph, log, index = load_digg("digg_friends.csv", "digg_votes.csv")
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Union
+
+from repro.data.actionlog import ActionLog
+from repro.data.graph import SocialGraph
+from repro.data.loaders import UserIndex
+from repro.errors import ActionLogError, GraphError
+
+PathLike = Union[str, Path]
+
+
+def _read_csv_rows(path: PathLike, expected_fields: int) -> list[list[str]]:
+    rows: list[list[str]] = []
+    with open(path, "r", encoding="utf-8", newline="") as handle:
+        reader = csv.reader(handle)
+        for line_number, row in enumerate(reader, start=1):
+            if not row or (len(row) == 1 and not row[0].strip()):
+                continue
+            if len(row) != expected_fields:
+                raise GraphError(
+                    f"{path}:{line_number}: expected {expected_fields} "
+                    f"fields, got {len(row)}"
+                )
+            rows.append([field.strip() for field in row])
+    return rows
+
+
+def _looks_like_header(row: list[str]) -> bool:
+    """Whether a first row is the documented column-name header."""
+    names = {field.lower() for field in row}
+    return bool(names & {"mutual", "friend_date", "date", "voter_id", "story_id"})
+
+
+def load_digg_friends(
+    path: PathLike, index: UserIndex | None = None
+) -> tuple[SocialGraph, UserIndex]:
+    """Parse ``digg_friends.csv`` into a directed influence graph.
+
+    ``user_id`` watches ``friend_id``, so the emitted edge is
+    ``friend_id -> user_id`` (influence direction); mutual ties emit
+    both directions.
+    """
+    index = index if index is not None else UserIndex()
+    edges: list[tuple[int, int]] = []
+    rows = _read_csv_rows(path, 4)
+    for row_number, row in enumerate(rows, start=1):
+        if row_number == 1 and _looks_like_header(row):
+            continue
+        mutual_text, _friend_date, user_text, friend_text = row
+        try:
+            mutual = int(mutual_text)
+        except ValueError:
+            raise GraphError(
+                f"{path}: row {row_number}: bad mutual flag {mutual_text!r}"
+            ) from None
+        user = index.intern(user_text)
+        friend = index.intern(friend_text)
+        if user == friend:
+            continue
+        edges.append((friend, user))
+        if mutual:
+            edges.append((user, friend))
+    return SocialGraph(len(index), edges), index
+
+
+def load_digg_votes(
+    path: PathLike,
+    index: UserIndex,
+    num_users: int | None = None,
+    skip_unknown_users: bool = True,
+) -> ActionLog:
+    """Parse ``digg_votes.csv`` into an :class:`ActionLog`.
+
+    Repeated votes by the same user on the same story keep the
+    earliest timestamp; voters absent from the friendship graph are
+    dropped by default (they cannot participate in influence pairs).
+    """
+    rows = _read_csv_rows(path, 3)
+    records: list[tuple[int, int, float]] = []
+    story_ids: dict[str, int] = {}
+    for row_number, row in enumerate(rows, start=1):
+        if row_number == 1 and _looks_like_header(row):
+            continue
+        date_text, voter_text, story_text = row
+        if voter_text not in index:
+            if skip_unknown_users:
+                continue
+            raise ActionLogError(
+                f"{path}: row {row_number}: unknown voter {voter_text!r}"
+            )
+        try:
+            timestamp = float(date_text)
+        except ValueError:
+            raise ActionLogError(
+                f"{path}: row {row_number}: bad timestamp {date_text!r}"
+            ) from None
+        story = story_ids.setdefault(story_text, len(story_ids))
+        records.append((index.id_of(voter_text), story, timestamp))
+
+    earliest: dict[tuple[int, int], float] = {}
+    for user, item, timestamp in records:
+        key = (user, item)
+        if key not in earliest or timestamp < earliest[key]:
+            earliest[key] = timestamp
+    total = num_users if num_users is not None else len(index)
+    return ActionLog.from_tuples(
+        [(u, i, t) for (u, i), t in earliest.items()], total
+    )
+
+
+def load_digg(
+    friends_path: PathLike, votes_path: PathLike
+) -> tuple[SocialGraph, ActionLog, UserIndex]:
+    """Load the full Digg 2009 dataset (friendship graph + votes)."""
+    graph, index = load_digg_friends(friends_path)
+    log = load_digg_votes(votes_path, index, num_users=graph.num_nodes)
+    return graph, log, index

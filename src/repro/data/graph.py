@@ -1,0 +1,253 @@
+"""Directed social-network graph.
+
+The paper models a social network as a directed graph ``G = (V, E)``
+where an edge ``(u, v)`` means *v follows u* / *v lists u as a friend*,
+so activity flows from ``u`` to ``v`` and ``v`` can be influenced by
+``u`` (Section III of the paper).
+
+:class:`SocialGraph` stores the edges twice in CSR (compressed sparse
+row) form — once grouped by source for out-neighbour queries, once
+grouped by target for in-neighbour queries — because both directions
+sit on hot paths: cascade simulation expands *out*-neighbours, while
+the activation-prediction protocol and the DE baseline need
+*in*-neighbours (who can influence me / my in-degree).
+
+Nodes are dense integer IDs ``0 .. num_nodes-1``; higher layers that
+need string user names map them through :class:`repro.data.loaders`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.errors import GraphError
+
+
+class SocialGraph:
+    """Immutable directed graph with CSR adjacency in both directions.
+
+    Parameters
+    ----------
+    num_nodes:
+        Number of nodes; node IDs are ``0 .. num_nodes - 1``.
+    edges:
+        Iterable of ``(source, target)`` pairs.  Duplicate edges are
+        collapsed; self-loops are rejected because a user does not
+        influence themself in any of the paper's models.
+
+    Examples
+    --------
+    >>> g = SocialGraph(4, [(0, 1), (0, 2), (1, 2), (2, 3)])
+    >>> sorted(g.out_neighbors(0))
+    [1, 2]
+    >>> sorted(g.in_neighbors(2))
+    [0, 1]
+    >>> g.has_edge(0, 1), g.has_edge(1, 0)
+    (True, False)
+    """
+
+    __slots__ = (
+        "_num_nodes",
+        "_num_edges",
+        "_out_indptr",
+        "_out_indices",
+        "_in_indptr",
+        "_in_indices",
+        "_edge_set",
+    )
+
+    def __init__(self, num_nodes: int, edges: Iterable[tuple[int, int]]):
+        if num_nodes < 0:
+            raise GraphError(f"num_nodes must be >= 0, got {num_nodes}")
+        self._num_nodes = int(num_nodes)
+
+        edge_array = self._coerce_edges(edges)
+        edge_array = self._validate_and_dedupe(edge_array)
+        self._num_edges = int(edge_array.shape[0])
+
+        self._out_indptr, self._out_indices = self._build_csr(
+            edge_array[:, 0], edge_array[:, 1]
+        )
+        self._in_indptr, self._in_indices = self._build_csr(
+            edge_array[:, 1], edge_array[:, 0]
+        )
+        # O(1) membership tests for has_edge(); kept as a Python set of
+        # packed ints because edge counts in this library are modest.
+        packed = edge_array[:, 0].astype(np.int64) * self._num_nodes + edge_array[:, 1]
+        self._edge_set = frozenset(packed.tolist())
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    def _coerce_edges(self, edges: Iterable[tuple[int, int]]) -> np.ndarray:
+        if isinstance(edges, np.ndarray):
+            edge_array = np.asarray(edges, dtype=np.int64)
+            if edge_array.size == 0:
+                return np.empty((0, 2), dtype=np.int64)
+            if edge_array.ndim != 2 or edge_array.shape[1] != 2:
+                raise GraphError(
+                    f"edge array must have shape (m, 2), got {edge_array.shape}"
+                )
+            return edge_array
+        edge_list = list(edges)
+        if not edge_list:
+            return np.empty((0, 2), dtype=np.int64)
+        try:
+            edge_array = np.asarray(edge_list, dtype=np.int64)
+        except (TypeError, ValueError) as exc:
+            raise GraphError(f"edges must be (int, int) pairs: {exc}") from exc
+        if edge_array.ndim != 2 or edge_array.shape[1] != 2:
+            raise GraphError(
+                f"edges must be (source, target) pairs, got shape {edge_array.shape}"
+            )
+        return edge_array
+
+    def _validate_and_dedupe(self, edge_array: np.ndarray) -> np.ndarray:
+        if edge_array.shape[0] == 0:
+            return edge_array
+        lo = edge_array.min()
+        hi = edge_array.max()
+        if lo < 0 or hi >= self._num_nodes:
+            raise GraphError(
+                f"edge endpoints must lie in [0, {self._num_nodes}), "
+                f"found range [{lo}, {hi}]"
+            )
+        if np.any(edge_array[:, 0] == edge_array[:, 1]):
+            bad = edge_array[edge_array[:, 0] == edge_array[:, 1]][0, 0]
+            raise GraphError(f"self-loops are not allowed (node {bad})")
+        return np.unique(edge_array, axis=0)
+
+    def _build_csr(
+        self, group_by: np.ndarray, values: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        order = np.argsort(group_by, kind="stable")
+        sorted_values = values[order].astype(np.int64)
+        counts = np.bincount(group_by, minlength=self._num_nodes).astype(np.int64)
+        indptr = np.empty(self._num_nodes + 1, dtype=np.int64)
+        indptr[0] = 0
+        np.cumsum(counts, out=indptr[1:])
+        return indptr, sorted_values
+
+    @classmethod
+    def from_edge_array(cls, num_nodes: int, edge_array: np.ndarray) -> "SocialGraph":
+        """Build a graph from an ``(m, 2)`` integer array of edges."""
+        return cls(num_nodes, edge_array)
+
+    # ------------------------------------------------------------------
+    # Basic queries
+    # ------------------------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes ``|V|``."""
+        return self._num_nodes
+
+    @property
+    def num_edges(self) -> int:
+        """Number of distinct directed edges ``|E|``."""
+        return self._num_edges
+
+    def nodes(self) -> range:
+        """All node IDs as a range."""
+        return range(self._num_nodes)
+
+    def edges(self) -> Iterator[tuple[int, int]]:
+        """Iterate over ``(source, target)`` pairs in source order."""
+        for u in range(self._num_nodes):
+            start, stop = self._out_indptr[u], self._out_indptr[u + 1]
+            for v in self._out_indices[start:stop]:
+                yield u, int(v)
+
+    def edge_array(self) -> np.ndarray:
+        """All edges as an ``(m, 2)`` int64 array in source order."""
+        sources = np.repeat(
+            np.arange(self._num_nodes, dtype=np.int64), self.out_degrees()
+        )
+        return np.column_stack([sources, self._out_indices])
+
+    def _check_node(self, node: int) -> int:
+        node = int(node)
+        if not 0 <= node < self._num_nodes:
+            raise GraphError(
+                f"node {node} out of range [0, {self._num_nodes})"
+            )
+        return node
+
+    def has_edge(self, source: int, target: int) -> bool:
+        """Whether the directed edge ``(source, target)`` exists."""
+        source = self._check_node(source)
+        target = self._check_node(target)
+        return source * self._num_nodes + target in self._edge_set
+
+    def out_neighbors(self, node: int) -> np.ndarray:
+        """Targets of edges leaving ``node`` (read-only view)."""
+        node = self._check_node(node)
+        return self._out_indices[self._out_indptr[node] : self._out_indptr[node + 1]]
+
+    def in_neighbors(self, node: int) -> np.ndarray:
+        """Sources of edges entering ``node`` (read-only view)."""
+        node = self._check_node(node)
+        return self._in_indices[self._in_indptr[node] : self._in_indptr[node + 1]]
+
+    def out_degree(self, node: int) -> int:
+        """Number of edges leaving ``node``."""
+        node = self._check_node(node)
+        return int(self._out_indptr[node + 1] - self._out_indptr[node])
+
+    def in_degree(self, node: int) -> int:
+        """Number of edges entering ``node``."""
+        node = self._check_node(node)
+        return int(self._in_indptr[node + 1] - self._in_indptr[node])
+
+    def out_degrees(self) -> np.ndarray:
+        """Out-degree of every node as an int64 array."""
+        return np.diff(self._out_indptr)
+
+    def in_degrees(self) -> np.ndarray:
+        """In-degree of every node as an int64 array."""
+        return np.diff(self._in_indptr)
+
+    # ------------------------------------------------------------------
+    # Derived graphs
+    # ------------------------------------------------------------------
+
+    def subgraph_edges(self, nodes: Sequence[int]) -> np.ndarray:
+        """Edges of the subgraph induced by ``nodes`` as an ``(m, 2)`` array.
+
+        Node IDs in the result refer to the *original* graph; callers
+        that want a compact relabelled graph can pass the result through
+        :class:`repro.core.propagation.PropagationNetwork`-style
+        relabelling.
+        """
+        node_set = {self._check_node(n) for n in nodes}
+        found = [
+            (u, int(v))
+            for u in node_set
+            for v in self.out_neighbors(u)
+            if int(v) in node_set
+        ]
+        if not found:
+            return np.empty((0, 2), dtype=np.int64)
+        return np.asarray(sorted(found), dtype=np.int64)
+
+    def reverse(self) -> "SocialGraph":
+        """Return the graph with every edge direction flipped."""
+        flipped = self.edge_array()[:, ::-1]
+        return SocialGraph(self._num_nodes, np.ascontiguousarray(flipped))
+
+    def __repr__(self) -> str:
+        return f"SocialGraph(num_nodes={self._num_nodes}, num_edges={self._num_edges})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SocialGraph):
+            return NotImplemented
+        return (
+            self._num_nodes == other._num_nodes
+            and self._edge_set == other._edge_set
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._num_nodes, self._edge_set))

@@ -1,0 +1,81 @@
+"""Evaluation harness: metrics, task protocols, dataset statistics."""
+
+from repro.eval.activation import (
+    ActivationCandidate,
+    episode_candidates,
+    evaluate_activation,
+    iter_test_candidates,
+)
+from repro.eval.diffusion import (
+    PAPER_SEED_FRACTION,
+    DiffusionQuery,
+    evaluate_diffusion,
+    make_query,
+)
+from repro.eval.curves import (
+    PrecisionRecallCurve,
+    RocCurve,
+    curve_to_text,
+    precision_recall_curve,
+    roc_curve,
+)
+from repro.eval.metrics import (
+    DEFAULT_PRECISION_CUTOFFS,
+    EvaluationResult,
+    RankingEvaluator,
+    average_precision,
+    precision_at_n,
+    ranking_auc,
+)
+from repro.eval.protocol import (
+    MultiRunResult,
+    SignificanceTest,
+    format_table,
+    paired_significance,
+    repeat_evaluation,
+)
+from repro.eval.tuning import TuningResult, TuningTrial, grid_search
+from repro.eval.stats import (
+    PowerLawFit,
+    active_friend_cdf,
+    active_friend_counts,
+    fit_power_law,
+    power_law_r_squared,
+    spontaneous_share,
+)
+
+__all__ = [
+    "PrecisionRecallCurve",
+    "RocCurve",
+    "curve_to_text",
+    "precision_recall_curve",
+    "roc_curve",
+    "ActivationCandidate",
+    "episode_candidates",
+    "evaluate_activation",
+    "iter_test_candidates",
+    "PAPER_SEED_FRACTION",
+    "DiffusionQuery",
+    "evaluate_diffusion",
+    "make_query",
+    "DEFAULT_PRECISION_CUTOFFS",
+    "EvaluationResult",
+    "RankingEvaluator",
+    "average_precision",
+    "precision_at_n",
+    "ranking_auc",
+    "MultiRunResult",
+    "SignificanceTest",
+    "format_table",
+    "paired_significance",
+    "repeat_evaluation",
+    "TuningResult",
+    "TuningTrial",
+    "grid_search",
+    "PowerLawFit",
+    "active_friend_cdf",
+    "active_friend_counts",
+    "fit_power_law",
+    "power_law_r_squared",
+    "spontaneous_share",
+]

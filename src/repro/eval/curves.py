@@ -1,0 +1,124 @@
+"""ROC and precision–recall curves.
+
+The paper reports scalar AUC (ROC, Bradley [32]) and cites Saito &
+Rehmsmeier [33] on PR curves being the informative view under class
+imbalance.  These helpers produce the full curves behind those
+scalars — useful for plotting, for choosing operating points, and for
+the property tests that tie the curve implementations back to the
+scalar metrics in :mod:`repro.eval.metrics`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import EvaluationError
+from repro.eval.metrics import _validate
+
+
+@dataclass(frozen=True)
+class RocCurve:
+    """ROC curve points and its exact area.
+
+    Attributes
+    ----------
+    false_positive_rate, true_positive_rate:
+        Curve coordinates, starting at (0, 0) and ending at (1, 1),
+        with one step per distinct score threshold.
+    thresholds:
+        Score threshold producing each point (descending;
+        ``+inf`` for the (0, 0) origin).
+    """
+
+    false_positive_rate: np.ndarray
+    true_positive_rate: np.ndarray
+    thresholds: np.ndarray
+
+    @property
+    def auc(self) -> float:
+        """Area under the curve by trapezoidal integration."""
+        return float(np.trapezoid(self.true_positive_rate, self.false_positive_rate))
+
+
+@dataclass(frozen=True)
+class PrecisionRecallCurve:
+    """Precision–recall curve points and average precision."""
+
+    precision: np.ndarray
+    recall: np.ndarray
+    thresholds: np.ndarray
+
+    @property
+    def average_precision(self) -> float:
+        """Step-interpolated area (identical to
+        :func:`repro.eval.metrics.average_precision` up to ties)."""
+        recall_steps = np.diff(self.recall, prepend=0.0)
+        return float(np.sum(self.precision * recall_steps))
+
+
+def _sorted_by_score(scores, labels) -> tuple[np.ndarray, np.ndarray]:
+    scores, labels = _validate(np.asarray(scores), np.asarray(labels))
+    if labels.sum() == 0 or labels.sum() == labels.shape[0]:
+        raise EvaluationError(
+            "curves need at least one positive and one negative label"
+        )
+    order = np.argsort(-scores, kind="stable")
+    return scores[order], labels[order].astype(np.float64)
+
+
+def roc_curve(scores, labels) -> RocCurve:
+    """ROC curve with tie handling (one point per distinct score)."""
+    sorted_scores, sorted_labels = _sorted_by_score(scores, labels)
+    # Collapse ties: cumulative counts evaluated at the last index of
+    # each distinct score.
+    distinct = np.where(np.diff(sorted_scores))[0]
+    cut_indices = np.concatenate([distinct, [sorted_scores.shape[0] - 1]])
+
+    tps = np.cumsum(sorted_labels)[cut_indices]
+    fps = (cut_indices + 1) - tps
+    num_pos = sorted_labels.sum()
+    num_neg = sorted_labels.shape[0] - num_pos
+
+    tpr = np.concatenate([[0.0], tps / num_pos])
+    fpr = np.concatenate([[0.0], fps / num_neg])
+    thresholds = np.concatenate([[np.inf], sorted_scores[cut_indices]])
+    return RocCurve(
+        false_positive_rate=fpr, true_positive_rate=tpr, thresholds=thresholds
+    )
+
+
+def precision_recall_curve(scores, labels) -> PrecisionRecallCurve:
+    """Precision–recall curve (one point per distinct score)."""
+    sorted_scores, sorted_labels = _sorted_by_score(scores, labels)
+    distinct = np.where(np.diff(sorted_scores))[0]
+    cut_indices = np.concatenate([distinct, [sorted_scores.shape[0] - 1]])
+
+    tps = np.cumsum(sorted_labels)[cut_indices]
+    predicted_positive = cut_indices + 1.0
+    num_pos = sorted_labels.sum()
+
+    precision = tps / predicted_positive
+    recall = tps / num_pos
+    return PrecisionRecallCurve(
+        precision=precision,
+        recall=recall,
+        thresholds=sorted_scores[cut_indices],
+    )
+
+
+def curve_to_text(
+    x: np.ndarray, y: np.ndarray, width: int = 50, height: int = 14
+) -> str:
+    """ASCII rendering of a monotone curve (terminal-friendly plots)."""
+    if x.shape[0] < 2:
+        raise EvaluationError("need at least 2 points to draw a curve")
+    grid = [[" "] * width for _ in range(height)]
+    x_span = float(x.max() - x.min()) or 1.0
+    y_span = float(y.max() - y.min()) or 1.0
+    for xi, yi in zip(x, y):
+        col = int((xi - x.min()) / x_span * (width - 1))
+        row = height - 1 - int((yi - y.min()) / y_span * (height - 1))
+        grid[row][col] = "*"
+    return "\n".join("".join(row) for row in grid)

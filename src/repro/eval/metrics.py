@@ -1,0 +1,192 @@
+"""Ranking metrics: AUC, MAP, and precision@N (Section V-B1).
+
+The paper evaluates every method by ranking candidate users by their
+predicted likelihood score:
+
+* **AUC** — computed with the ranking scheme of Bradley [32] rather
+  than a decision threshold: the probability that a uniformly random
+  positive outranks a uniformly random negative, with ties counting
+  one half.
+* **MAP** — mean over queries (test episodes) of average precision,
+  the informative choice under heavy class imbalance [33].
+* **P@N** — precision among the top-N ranked candidates, for
+  N ∈ {10, 50, 100}.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+from scipy.stats import rankdata
+
+from repro.errors import EvaluationError
+
+#: The paper's P@N cut-offs.
+DEFAULT_PRECISION_CUTOFFS = (10, 50, 100)
+
+
+def _validate(scores: np.ndarray, labels: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    scores = np.asarray(scores, dtype=np.float64)
+    labels = np.asarray(labels)
+    if scores.ndim != 1 or labels.ndim != 1:
+        raise EvaluationError("scores and labels must be 1-D")
+    if scores.shape != labels.shape:
+        raise EvaluationError(
+            f"scores shape {scores.shape} != labels shape {labels.shape}"
+        )
+    if not np.all(np.isfinite(scores)):
+        raise EvaluationError("scores must be finite")
+    unique = np.unique(labels)
+    if unique.size and not np.all(np.isin(unique, (0, 1))):
+        raise EvaluationError(f"labels must be binary 0/1, found {unique[:5]}")
+    return scores, labels.astype(bool)
+
+
+def ranking_auc(scores: Sequence[float], labels: Sequence[int]) -> float:
+    """Tie-aware ROC AUC via the Mann–Whitney rank statistic.
+
+    Returns ``nan`` when the labels are single-class (AUC undefined).
+    """
+    scores, labels = _validate(np.asarray(scores), np.asarray(labels))
+    num_pos = int(labels.sum())
+    num_neg = int(labels.shape[0] - num_pos)
+    if num_pos == 0 or num_neg == 0:
+        return float("nan")
+    ranks = rankdata(scores)  # average ranks handle ties as 0.5 credit
+    pos_rank_sum = ranks[labels].sum()
+    u_statistic = pos_rank_sum - num_pos * (num_pos + 1) / 2.0
+    return float(u_statistic / (num_pos * num_neg))
+
+
+def average_precision(scores: Sequence[float], labels: Sequence[int]) -> float:
+    """Average precision of one ranked query.
+
+    ``AP = (1 / #pos) * sum_k precision@k * [item k is positive]``
+    with items sorted by descending score (ties broken by input order,
+    which keeps the metric deterministic).  Returns ``nan`` with no
+    positives.
+    """
+    scores, labels = _validate(np.asarray(scores), np.asarray(labels))
+    num_pos = int(labels.sum())
+    if num_pos == 0:
+        return float("nan")
+    order = np.argsort(-scores, kind="stable")
+    sorted_labels = labels[order]
+    cumulative_hits = np.cumsum(sorted_labels)
+    ranks = np.arange(1, sorted_labels.shape[0] + 1)
+    precision_at_hits = cumulative_hits[sorted_labels] / ranks[sorted_labels]
+    return float(precision_at_hits.sum() / num_pos)
+
+
+def precision_at_n(scores: Sequence[float], labels: Sequence[int], n: int) -> float:
+    """Fraction of positives among the ``n`` highest-scored items.
+
+    When fewer than ``n`` items exist the denominator stays ``n``
+    (missing slots count as misses), matching the strict top-N reading
+    used in the paper's tables.
+    """
+    if n <= 0:
+        raise EvaluationError(f"n must be positive, got {n}")
+    scores, labels = _validate(np.asarray(scores), np.asarray(labels))
+    if scores.shape[0] == 0:
+        return 0.0
+    order = np.argsort(-scores, kind="stable")[:n]
+    return float(labels[order].sum() / n)
+
+
+@dataclass(frozen=True)
+class EvaluationResult:
+    """The paper's five-metric row: AUC, MAP, P@10, P@50, P@100.
+
+    Attributes
+    ----------
+    auc:
+        Pooled ranking AUC over every candidate instance.
+    map:
+        Mean of per-query (per-episode) average precision.
+    precision_at:
+        Mapping from cut-off N to pooled precision@N.
+    num_queries:
+        Number of queries contributing to MAP.
+    num_candidates:
+        Total pooled candidate instances.
+    num_positives:
+        Total pooled positive instances.
+    """
+
+    auc: float
+    map: float
+    precision_at: Mapping[int, float]
+    num_queries: int = 0
+    num_candidates: int = 0
+    num_positives: int = 0
+
+    def as_row(self) -> dict[str, float]:
+        """Flatten to the table-row layout used in the experiments."""
+        row = {"AUC": self.auc, "MAP": self.map}
+        for n in sorted(self.precision_at):
+            row[f"P@{n}"] = self.precision_at[n]
+        return row
+
+    def __str__(self) -> str:
+        parts = [f"AUC={self.auc:.4f}", f"MAP={self.map:.4f}"]
+        parts += [
+            f"P@{n}={self.precision_at[n]:.4f}" for n in sorted(self.precision_at)
+        ]
+        return " ".join(parts)
+
+
+@dataclass
+class RankingEvaluator:
+    """Accumulates per-query rankings and produces an :class:`EvaluationResult`.
+
+    AUC and P@N are computed on the *pooled* candidate list (the paper
+    ranks "all the candidate users"); MAP averages per-query average
+    precision, skipping queries without positives (their AP is
+    undefined).
+    """
+
+    precision_cutoffs: Sequence[int] = DEFAULT_PRECISION_CUTOFFS
+    _all_scores: list[np.ndarray] = field(default_factory=list)
+    _all_labels: list[np.ndarray] = field(default_factory=list)
+    _per_query_ap: list[float] = field(default_factory=list)
+
+    def add_query(self, scores: Sequence[float], labels: Sequence[int]) -> None:
+        """Record one query's ranked candidates."""
+        scores, labels = _validate(np.asarray(scores), np.asarray(labels))
+        if scores.shape[0] == 0:
+            return
+        self._all_scores.append(scores)
+        self._all_labels.append(labels.astype(np.int64))
+        ap = average_precision(scores, labels.astype(np.int64))
+        if not np.isnan(ap):
+            self._per_query_ap.append(ap)
+
+    @property
+    def num_queries(self) -> int:
+        """Number of queries recorded so far (with or without positives)."""
+        return len(self._all_scores)
+
+    def result(self) -> EvaluationResult:
+        """Final five-metric row over everything recorded so far."""
+        if not self._all_scores:
+            raise EvaluationError("no queries recorded; nothing to evaluate")
+        pooled_scores = np.concatenate(self._all_scores)
+        pooled_labels = np.concatenate(self._all_labels)
+        precision = {
+            n: precision_at_n(pooled_scores, pooled_labels, n)
+            for n in self.precision_cutoffs
+        }
+        mean_ap = (
+            float(np.mean(self._per_query_ap)) if self._per_query_ap else float("nan")
+        )
+        return EvaluationResult(
+            auc=ranking_auc(pooled_scores, pooled_labels),
+            map=mean_ap,
+            precision_at=precision,
+            num_queries=len(self._all_scores),
+            num_candidates=int(pooled_scores.shape[0]),
+            num_positives=int(pooled_labels.sum()),
+        )

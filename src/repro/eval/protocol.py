@@ -1,0 +1,162 @@
+"""Multi-run evaluation protocol.
+
+The paper reports latent-model results as "the average value of 10
+runs" with standard deviations, and marks improvements significant at
+p < 0.05.  This module provides:
+
+* :class:`MultiRunResult` — per-metric mean / std over repeated runs,
+* :func:`repeat_evaluation` — run a stochastic train+evaluate callable
+  several times with derived seeds,
+* :func:`paired_significance` — a paired t-test between two methods'
+  per-run metric values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+from scipy import stats as scipy_stats
+
+from repro.errors import EvaluationError
+from repro.eval.metrics import EvaluationResult
+from repro.utils.rng import SeedLike, ensure_rng
+
+
+@dataclass(frozen=True)
+class MultiRunResult:
+    """Aggregate of several :class:`EvaluationResult` runs.
+
+    Attributes
+    ----------
+    runs:
+        The individual run results, in run order.
+    """
+
+    runs: tuple[EvaluationResult, ...]
+
+    def __post_init__(self) -> None:
+        if not self.runs:
+            raise EvaluationError("MultiRunResult needs at least one run")
+
+    def _metric_values(self, metric: str) -> np.ndarray:
+        values = [run.as_row().get(metric) for run in self.runs]
+        if any(v is None for v in values):
+            available = sorted(self.runs[0].as_row())
+            raise EvaluationError(
+                f"unknown metric {metric!r}; available: {available}"
+            )
+        return np.asarray(values, dtype=np.float64)
+
+    def mean(self, metric: str) -> float:
+        """Mean of ``metric`` over runs (NaN runs propagate)."""
+        return float(self._metric_values(metric).mean())
+
+    def std(self, metric: str) -> float:
+        """Sample standard deviation (ddof=1; 0.0 for a single run)."""
+        values = self._metric_values(metric)
+        if values.shape[0] < 2:
+            return 0.0
+        return float(values.std(ddof=1))
+
+    def metrics(self) -> list[str]:
+        """Metric names available on every run."""
+        return list(self.runs[0].as_row())
+
+    def summary(self) -> dict[str, tuple[float, float]]:
+        """``{metric: (mean, std)}`` over all runs."""
+        return {m: (self.mean(m), self.std(m)) for m in self.metrics()}
+
+    def as_row(self) -> dict[str, float]:
+        """Mean-value row in the paper's table layout."""
+        return {m: self.mean(m) for m in self.metrics()}
+
+
+def repeat_evaluation(
+    run: Callable[[int], EvaluationResult],
+    num_runs: int = 10,
+    seed: SeedLike = None,
+) -> MultiRunResult:
+    """Call ``run(seed_k)`` for ``num_runs`` derived integer seeds.
+
+    ``run`` should train the (stochastic) model with the given seed and
+    return its :class:`EvaluationResult` on a *fixed* test split, so
+    run-to-run variation reflects model randomness only — the paper's
+    protocol for the reported standard deviations.
+    """
+    if num_runs < 1:
+        raise EvaluationError(f"num_runs must be >= 1, got {num_runs}")
+    rng = ensure_rng(seed)
+    seeds = rng.integers(0, 2**31 - 1, size=num_runs)
+    results = tuple(run(int(s)) for s in seeds)
+    return MultiRunResult(runs=results)
+
+
+@dataclass(frozen=True)
+class SignificanceTest:
+    """Result of a paired comparison between two methods on one metric."""
+
+    metric: str
+    mean_difference: float
+    t_statistic: float
+    p_value: float
+
+    def significant(self, alpha: float = 0.05) -> bool:
+        """Whether the difference is significant at level ``alpha``."""
+        return bool(self.p_value < alpha)
+
+
+def paired_significance(
+    method_a: MultiRunResult,
+    method_b: MultiRunResult,
+    metric: str = "MAP",
+) -> SignificanceTest:
+    """Paired t-test of ``method_a - method_b`` on per-run metric values.
+
+    Requires both methods to have been evaluated with the same number
+    of runs (ideally the same derived seeds and test split).
+    """
+    a = method_a._metric_values(metric)
+    b = method_b._metric_values(metric)
+    if a.shape != b.shape:
+        raise EvaluationError(
+            f"run counts differ: {a.shape[0]} vs {b.shape[0]}"
+        )
+    if a.shape[0] < 2:
+        raise EvaluationError("paired t-test needs at least 2 runs")
+    differences = a - b
+    if np.allclose(differences, differences[0]):
+        # Zero variance in differences: t-test undefined; report exact
+        # outcome (p=0 for a real difference, p=1 for identical runs).
+        identical = bool(np.allclose(differences, 0.0))
+        return SignificanceTest(
+            metric=metric,
+            mean_difference=float(differences.mean()),
+            t_statistic=float("inf") if not identical else 0.0,
+            p_value=1.0 if identical else 0.0,
+        )
+    t_stat, p_value = scipy_stats.ttest_rel(a, b)
+    return SignificanceTest(
+        metric=metric,
+        mean_difference=float(differences.mean()),
+        t_statistic=float(t_stat),
+        p_value=float(p_value),
+    )
+
+
+def format_table(
+    rows: Mapping[str, EvaluationResult | MultiRunResult],
+    metrics: Sequence[str] = ("AUC", "MAP", "P@10", "P@50", "P@100"),
+) -> str:
+    """Render method→result rows as the paper's fixed-width table."""
+    header = ["Method".ljust(12)] + [m.rjust(8) for m in metrics]
+    lines = ["".join(header)]
+    for name, result in rows.items():
+        row = result.as_row()
+        cells = [name.ljust(12)]
+        for metric in metrics:
+            value = row.get(metric, float("nan"))
+            cells.append(f"{value:8.4f}")
+        lines.append("".join(cells))
+    return "\n".join(lines)

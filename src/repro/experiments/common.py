@@ -1,0 +1,141 @@
+"""Shared infrastructure for the experiment pipelines (Tables & Figures).
+
+Every experiment module under :mod:`repro.experiments` exposes a
+``run(scale, seed)`` function returning a structured result plus a
+``main()`` that prints the paper-style table; the pytest benchmarks
+wrap the same ``run`` functions.
+
+The paper's experiments use 68K–162K-user crawls and hours of C++
+time; :class:`ExperimentScale` defines laptop-scale working points that
+preserve the relative comparisons.  ``SMALL`` keeps the benchmark suite
+fast; ``MEDIUM`` is the reporting scale used for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Mapping
+
+from repro.baselines import InfluenceModel, make_method
+from repro.core.context import ContextConfig
+from repro.core.inf2vec import Inf2vecConfig
+from repro.data.synthetic import SyntheticSocialDataset
+from repro.errors import EvaluationError
+from repro.utils.rng import SeedLike
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Working-point parameters for an experiment run.
+
+    Attributes mirror the paper's knobs (Section V-A2) at reduced
+    size: ``dim`` is the paper's K (50), ``context_length`` its L (50),
+    ``alpha`` the component weight (0.1), ``mc_runs`` the Monte-Carlo
+    simulation count (5,000).
+    """
+
+    name: str
+    num_users: int
+    num_items: int
+    dim: int
+    context_length: int
+    alpha: float
+    learning_rate: float
+    epochs: int
+    num_negatives: int
+    mc_runs: int
+
+    def inf2vec_config(self, **overrides) -> Inf2vecConfig:
+        """The Inf2vec configuration at this scale."""
+        config = Inf2vecConfig(
+            dim=self.dim,
+            context=ContextConfig(length=self.context_length, alpha=self.alpha),
+            learning_rate=self.learning_rate,
+            num_negatives=self.num_negatives,
+            epochs=self.epochs,
+        )
+        return replace(config, **overrides) if overrides else config
+
+
+SMALL = ExperimentScale(
+    name="small",
+    num_users=300,
+    num_items=120,
+    dim=16,
+    context_length=20,
+    alpha=0.2,
+    learning_rate=0.01,
+    epochs=15,
+    num_negatives=5,
+    mc_runs=100,
+)
+
+MEDIUM = ExperimentScale(
+    name="medium",
+    num_users=800,
+    num_items=400,
+    dim=32,
+    context_length=30,
+    alpha=0.2,
+    learning_rate=0.01,
+    epochs=25,
+    num_negatives=5,
+    mc_runs=300,
+)
+
+SCALES: Mapping[str, ExperimentScale] = {"small": SMALL, "medium": MEDIUM}
+
+
+def get_scale(scale: str | ExperimentScale) -> ExperimentScale:
+    """Resolve a scale by name or pass an explicit one through."""
+    if isinstance(scale, ExperimentScale):
+        return scale
+    try:
+        return SCALES[scale]
+    except KeyError:
+        raise EvaluationError(
+            f"unknown scale {scale!r}; choose from {sorted(SCALES)}"
+        ) from None
+
+
+def make_dataset(
+    profile: str, scale: ExperimentScale, seed: SeedLike
+) -> SyntheticSocialDataset:
+    """Generate the Digg-like or Flickr-like dataset at a scale."""
+    if profile == "digg":
+        return SyntheticSocialDataset.digg_like(
+            num_users=scale.num_users, num_items=scale.num_items, seed=seed
+        )
+    if profile == "flickr":
+        return SyntheticSocialDataset.flickr_like(
+            num_users=scale.num_users, num_items=scale.num_items, seed=seed
+        )
+    raise EvaluationError(f"unknown dataset profile {profile!r}")
+
+
+#: Both dataset profiles, in the paper's presentation order.
+DATASET_PROFILES = ("digg", "flickr")
+
+
+def method_grid(
+    scale: ExperimentScale, seed: SeedLike = 0
+) -> dict[str, Callable[[], InfluenceModel]]:
+    """Factories for the paper's full method grid at one scale.
+
+    Returned lazily (factories, not instances) so each experiment can
+    instantiate fresh models per run/seed.
+    """
+    def factory(name: str, **kwargs) -> Callable[[], InfluenceModel]:
+        return lambda: make_method(name, **kwargs)
+
+    return {
+        "DE": factory("DE"),
+        "ST": factory("ST"),
+        "EM": factory("EM"),
+        "Emb-IC": factory("Emb-IC", dim=scale.dim, seed=seed),
+        "MF": factory("MF", dim=scale.dim, epochs=5, seed=seed),
+        "Node2vec": factory("Node2vec", dim=scale.dim, seed=seed),
+        "Inf2vec": factory(
+            "Inf2vec", config=scale.inf2vec_config(), seed=seed
+        ),
+    }

@@ -1,0 +1,67 @@
+"""Shared train-and-evaluate runner for the Table II / III comparisons."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Literal, Mapping
+
+from repro.baselines import InfluenceModel
+from repro.data.synthetic import SyntheticSocialDataset
+from repro.eval.activation import evaluate_activation
+from repro.eval.diffusion import evaluate_diffusion
+from repro.eval.metrics import EvaluationResult
+from repro.eval.protocol import format_table
+from repro.experiments.common import ExperimentScale
+from repro.utils.rng import SeedLike, ensure_rng
+
+Task = Literal["activation", "diffusion"]
+
+
+@dataclass(frozen=True)
+class ComparisonResult:
+    """All methods' metric rows on one (dataset, task) pair."""
+
+    dataset: str
+    task: Task
+    rows: Mapping[str, EvaluationResult]
+
+    def table(self) -> str:
+        """The paper-style fixed-width table."""
+        return format_table(dict(self.rows))
+
+    def winner(self, metric: str = "AUC") -> str:
+        """Method with the best value of ``metric``."""
+        return max(self.rows, key=lambda name: self.rows[name].as_row()[metric])
+
+
+def evaluate_method(
+    model: InfluenceModel,
+    data: SyntheticSocialDataset,
+    test_log,
+    task: Task,
+    scale: ExperimentScale,
+    seed: SeedLike = None,
+) -> EvaluationResult:
+    """Evaluate one fitted model on one task with scale-appropriate cost."""
+    predictor = model.predictor(num_runs=scale.mc_runs, seed=seed)
+    if task == "activation":
+        return evaluate_activation(predictor, data.graph, test_log)
+    return evaluate_diffusion(predictor, data.graph.num_nodes, test_log)
+
+
+def run_comparison(
+    data: SyntheticSocialDataset,
+    methods: Mapping[str, Callable[[], InfluenceModel]],
+    task: Task,
+    scale: ExperimentScale,
+    split_seed: SeedLike = 0,
+    eval_seed: SeedLike = 1,
+) -> ComparisonResult:
+    """Train every method on the 80% split, evaluate on the 10% test split."""
+    rng = ensure_rng(split_seed)
+    train, _tune, test = data.log.split((0.8, 0.1, 0.1), seed=rng)
+    rows: dict[str, EvaluationResult] = {}
+    for name, factory in methods.items():
+        model = factory().fit(data.graph, train)
+        rows[name] = evaluate_method(model, data, test, task, scale, seed=eval_seed)
+    return ComparisonResult(dataset=data.name, task=task, rows=rows)

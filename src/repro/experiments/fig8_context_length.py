@@ -1,0 +1,88 @@
+"""Experiment F8 — Figure 8: effect of the context length L.
+
+The paper sweeps the length threshold L of Algorithm 1 and plots
+activation MAP: more context users mean more training instances, so
+MAP rises with L and flattens; on Flickr L=100 dips slightly below
+L=50 (over-fitting), and L=50 is chosen as the accuracy/cost
+trade-off.
+
+The scaled sweep uses proportionally smaller L values; the shape
+target is a rising-then-flat curve — the largest L must not be far
+ahead of the middle of the sweep, and the smallest L must trail.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Mapping
+
+from repro.baselines import Inf2vecMethod
+from repro.eval.activation import evaluate_activation
+from repro.eval.metrics import EvaluationResult
+from repro.experiments.common import (
+    DATASET_PROFILES,
+    ExperimentScale,
+    get_scale,
+    make_dataset,
+)
+from repro.utils.rng import SeedLike, ensure_rng
+
+#: Scaled stand-ins for the paper's L ∈ {10, 25, 50, 100}.
+DEFAULT_LENGTHS = (5, 10, 20, 40)
+
+
+@dataclass(frozen=True)
+class LengthSweep:
+    """MAP (and friends) per context length for one dataset."""
+
+    dataset: str
+    rows: Mapping[int, EvaluationResult]
+
+    def series(self, metric: str = "MAP") -> dict[int, float]:
+        """``{L: metric}`` — the Figure 8 curve."""
+        return {length: r.as_row()[metric] for length, r in sorted(self.rows.items())}
+
+    def best_length(self, metric: str = "MAP") -> int:
+        """L with the best metric value."""
+        series = self.series(metric)
+        return max(series, key=series.get)
+
+
+def run(
+    scale: str | ExperimentScale = "small",
+    seed: SeedLike = 0,
+    lengths: tuple[int, ...] = DEFAULT_LENGTHS,
+    profiles: tuple[str, ...] = DATASET_PROFILES,
+) -> list[LengthSweep]:
+    """Sweep L on the activation task for each profile."""
+    scale = get_scale(scale)
+    rng = ensure_rng(seed)
+    sweeps = []
+    for profile in profiles:
+        data = make_dataset(profile, scale, rng)
+        train, _tune, test = data.log.split((0.8, 0.1, 0.1), seed=rng)
+        rows: dict[int, EvaluationResult] = {}
+        for length in lengths:
+            base = scale.inf2vec_config()
+            config = replace(
+                base, context=replace(base.context, length=length)
+            )
+            method = Inf2vecMethod(config, seed=rng).fit(data.graph, train)
+            rows[length] = evaluate_activation(
+                method.predictor(), data.graph, test
+            )
+        sweeps.append(LengthSweep(dataset=data.name, rows=rows))
+    return sweeps
+
+
+def main(scale: str = "small", seed: int = 0) -> None:
+    """Print the Figure 8 reproduction."""
+    for sweep in run(scale, seed):
+        print(f"\nFigure 8 — MAP vs L on {sweep.dataset}")
+        for length, value in sweep.series().items():
+            print(f"  L={length:<4} MAP={value:.4f}")
+        print(f"  best L: {sweep.best_length()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""Experiment T2 — Table II: activation prediction on both datasets.
+
+Paper's Table II compares DE, ST, EM, Emb-IC, MF, Node2vec, and
+Inf2vec on AUC / MAP / P@10 / P@50 / P@100 for the
+activation-prediction task, on Digg and Flickr.  Headline numbers
+(Digg): Inf2vec AUC 0.8893 / MAP 0.2744 vs ST 0.8619 / 0.1790,
+EM 0.8623 / 0.2071, Emb-IC 0.8072 / 0.1503, MF 0.8568 / 0.1691,
+Node2vec 0.6437 / 0.0322, DE 0.4144 / 0.0170.
+
+Reproduction shape targets (synthetic substitution, Section 2 of
+DESIGN.md):
+
+* Inf2vec ranks first on AUC and MAP on both profiles,
+* the count-based models (ST, EM) clearly beat DE,
+* Node2vec (structure only) and DE (no learning) trail the field,
+* MF (interest only) is competitive but below Inf2vec.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import (
+    DATASET_PROFILES,
+    ExperimentScale,
+    get_scale,
+    make_dataset,
+    method_grid,
+)
+from repro.experiments.comparison import ComparisonResult, run_comparison
+from repro.utils.rng import SeedLike, ensure_rng
+
+
+def run(
+    scale: str | ExperimentScale = "small",
+    seed: SeedLike = 0,
+    profiles: tuple[str, ...] = DATASET_PROFILES,
+) -> list[ComparisonResult]:
+    """Run the Table II comparison on the requested dataset profiles."""
+    scale = get_scale(scale)
+    rng = ensure_rng(seed)
+    results = []
+    for profile in profiles:
+        data = make_dataset(profile, scale, rng)
+        methods = method_grid(scale, seed=rng)
+        results.append(
+            run_comparison(
+                data, methods, task="activation", scale=scale, split_seed=rng
+            )
+        )
+    return results
+
+
+def main(scale: str = "small", seed: int = 0) -> None:
+    """Print the Table II reproduction."""
+    for result in run(scale, seed):
+        print(f"\nTable II — activation prediction on {result.dataset}")
+        print(result.table())
+        print(f"best AUC: {result.winner('AUC')}, best MAP: {result.winner('MAP')}")
+
+
+if __name__ == "__main__":
+    main()

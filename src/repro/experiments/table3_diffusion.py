@@ -1,0 +1,64 @@
+"""Experiment T3 — Table III: diffusion prediction on both datasets.
+
+Paper's Table III evaluates the same seven methods on the
+diffusion-prediction task: the first 5% of each test episode seeds the
+cascade and the methods must rank the remaining 95% adopters above
+everyone else.  IC-based methods use 5,000 Monte-Carlo simulations;
+representation methods use Eq. 7 directly.
+
+Headline numbers (Digg): Inf2vec AUC 0.8904 / MAP 0.1793 vs
+MF 0.8677 / 0.1347, EM 0.7095 / 0.1241, ST 0.6874 / 0.1064,
+Emb-IC 0.6649 / 0.1047, Node2vec 0.6606 / 0.0219, DE 0.6183 / 0.0173.
+
+Reproduction shape targets:
+
+* Inf2vec ranks first on AUC and MAP on both profiles,
+* the representation models dominate the IC-based models on AUC for
+  this high-order task (MF's AUC jumps vs Table II, since global
+  similarity propagates beyond one hop),
+* DE and Node2vec trail on MAP by an order of magnitude.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import (
+    DATASET_PROFILES,
+    ExperimentScale,
+    get_scale,
+    make_dataset,
+    method_grid,
+)
+from repro.experiments.comparison import ComparisonResult, run_comparison
+from repro.utils.rng import SeedLike, ensure_rng
+
+
+def run(
+    scale: str | ExperimentScale = "small",
+    seed: SeedLike = 0,
+    profiles: tuple[str, ...] = DATASET_PROFILES,
+) -> list[ComparisonResult]:
+    """Run the Table III comparison on the requested dataset profiles."""
+    scale = get_scale(scale)
+    rng = ensure_rng(seed)
+    results = []
+    for profile in profiles:
+        data = make_dataset(profile, scale, rng)
+        methods = method_grid(scale, seed=rng)
+        results.append(
+            run_comparison(
+                data, methods, task="diffusion", scale=scale, split_seed=rng
+            )
+        )
+    return results
+
+
+def main(scale: str = "small", seed: int = 0) -> None:
+    """Print the Table III reproduction."""
+    for result in run(scale, seed):
+        print(f"\nTable III — diffusion prediction on {result.dataset}")
+        print(result.table())
+        print(f"best AUC: {result.winner('AUC')}, best MAP: {result.winner('MAP')}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""Experiment T6 — Table VI + case-study precision (Section V-D).
+
+On the citation network, the paper predicts each test author's top-10
+future citers with (a) the embedding model trained on first-order
+influence pairs and (b) the conventional ST model scored by
+Monte-Carlo simulation.  Reported: average precision@10 of 0.1863
+(embedding) vs 0.0616 (conventional) — roughly 3× — plus a showcase
+table for the three most prolific authors.
+
+Shape target: embedding precision@10 exceeds conventional precision@10
+by a clear margin on the synthetic citation corpus.
+"""
+
+from __future__ import annotations
+
+from repro.apps.citation_study import CaseStudyResult, run_case_study
+from repro.data.citation import CitationConfig, CitationDataset
+from repro.utils.rng import SeedLike, ensure_rng
+
+#: Paper's headline case-study numbers.
+PAPER_EMBEDDING_PRECISION = 0.1863
+PAPER_CONVENTIONAL_PRECISION = 0.0616
+
+
+def run(
+    scale: str = "small",
+    seed: SeedLike = 0,
+    mc_runs: int = 300,
+) -> CaseStudyResult:
+    """Generate a citation corpus and run the Table VI pipeline."""
+    sizes = {
+        "small": CitationConfig(num_authors=300, num_papers=900),
+        "medium": CitationConfig(),  # 400 authors, 1500 papers
+    }
+    try:
+        config = sizes[scale]
+    except KeyError:
+        raise ValueError(f"unknown scale {scale!r}; choose from {sorted(sizes)}")
+    rng = ensure_rng(seed)
+    dataset = CitationDataset.generate(config, seed=rng)
+    return run_case_study(dataset, mc_runs=mc_runs, seed=rng)
+
+
+def main(scale: str = "small", seed: int = 0) -> None:
+    """Print the Table VI reproduction."""
+    result = run(scale, seed)
+    print("Table VI — citation case study")
+    print(
+        f"embedding    precision@10: {result.embedding_precision:.4f} "
+        f"(paper {PAPER_EMBEDDING_PRECISION})"
+    )
+    print(
+        f"conventional precision@10: {result.conventional_precision:.4f} "
+        f"(paper {PAPER_CONVENTIONAL_PRECISION})"
+    )
+    print(f"ratio: {result.precision_ratio:.2f}x (paper ~3x)")
+    print(f"test authors: {result.num_test_authors}")
+    for row in result.showcase:
+        print(
+            f"  author {row.author}: embedding {row.embedding_hits}/10, "
+            f"conventional {row.conventional_hits}/10"
+        )
+
+
+if __name__ == "__main__":
+    main()

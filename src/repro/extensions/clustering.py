@@ -1,0 +1,128 @@
+"""Lightweight k-means clustering (no scikit-learn available offline).
+
+Used by the topic-aware Inf2vec extension to group items into topics
+from their adopter profiles.  Standard Lloyd's algorithm with k-means++
+initialisation and empty-cluster re-seeding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import TrainingError
+from repro.utils.rng import RandomState, SeedLike, ensure_rng
+from repro.utils.validation import check_positive_int
+
+
+@dataclass(frozen=True)
+class KMeansResult:
+    """Outcome of a k-means run.
+
+    Attributes
+    ----------
+    labels:
+        Cluster index per input row.
+    centroids:
+        ``(num_clusters, dim)`` centroid matrix.
+    inertia:
+        Sum of squared distances of rows to their centroid.
+    iterations:
+        Lloyd iterations executed.
+    """
+
+    labels: np.ndarray
+    centroids: np.ndarray
+    inertia: float
+    iterations: int
+
+
+def _init_plus_plus(
+    points: np.ndarray, num_clusters: int, rng: RandomState
+) -> np.ndarray:
+    """k-means++ seeding: spread initial centroids apart."""
+    n = points.shape[0]
+    centroids = np.empty((num_clusters, points.shape[1]))
+    first = int(rng.integers(n))
+    centroids[0] = points[first]
+    closest_sq = np.sum((points - centroids[0]) ** 2, axis=1)
+    for k in range(1, num_clusters):
+        total = closest_sq.sum()
+        if total <= 0:
+            centroids[k] = points[int(rng.integers(n))]
+            continue
+        probs = closest_sq / total
+        pick = int(rng.choice(n, p=probs))
+        centroids[k] = points[pick]
+        distance = np.sum((points - centroids[k]) ** 2, axis=1)
+        np.minimum(closest_sq, distance, out=closest_sq)
+    return centroids
+
+
+def kmeans(
+    points: np.ndarray,
+    num_clusters: int,
+    max_iterations: int = 100,
+    tolerance: float = 1e-6,
+    seed: SeedLike = None,
+) -> KMeansResult:
+    """Cluster rows of ``points`` into ``num_clusters`` groups.
+
+    Parameters
+    ----------
+    points:
+        ``(n, d)`` data matrix with ``n >= num_clusters``.
+    num_clusters:
+        Number of clusters ``k``.
+    max_iterations:
+        Lloyd iteration cap.
+    tolerance:
+        Stop when centroids move less than this (max row L2 shift).
+    seed:
+        RNG seed for the k-means++ initialisation.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2:
+        raise TrainingError(f"points must be 2-D, got shape {points.shape}")
+    num_clusters = check_positive_int("num_clusters", num_clusters)
+    check_positive_int("max_iterations", max_iterations)
+    if points.shape[0] < num_clusters:
+        raise TrainingError(
+            f"need at least {num_clusters} points, got {points.shape[0]}"
+        )
+    rng = ensure_rng(seed)
+    centroids = _init_plus_plus(points, num_clusters, rng)
+
+    labels = np.zeros(points.shape[0], dtype=np.int64)
+    iterations = 0
+    for iterations in range(1, max_iterations + 1):
+        # Assign.
+        distances = (
+            np.sum(points**2, axis=1)[:, None]
+            - 2.0 * points @ centroids.T
+            + np.sum(centroids**2, axis=1)[None, :]
+        )
+        labels = np.argmin(distances, axis=1)
+        # Update.
+        new_centroids = centroids.copy()
+        for k in range(num_clusters):
+            members = points[labels == k]
+            if members.shape[0] == 0:
+                # Re-seed an empty cluster at the worst-fit point.
+                worst = int(np.argmax(np.min(distances, axis=1)))
+                new_centroids[k] = points[worst]
+            else:
+                new_centroids[k] = members.mean(axis=0)
+        shift = float(np.max(np.linalg.norm(new_centroids - centroids, axis=1)))
+        centroids = new_centroids
+        if shift < tolerance:
+            break
+
+    final_distances = np.sum((points - centroids[labels]) ** 2, axis=1)
+    return KMeansResult(
+        labels=labels,
+        centroids=centroids,
+        inertia=float(final_distances.sum()),
+        iterations=iterations,
+    )

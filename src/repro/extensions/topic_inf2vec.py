@@ -1,0 +1,239 @@
+"""Topic-aware Inf2vec — the paper's first future-work direction.
+
+Section VI: *"users' social behaviors are influenced by other factors,
+such as topical features.  It is interesting to develop some methods to
+model the topic-aware influence propagation."*
+
+This extension implements the natural topic-aware variant:
+
+1. items are clustered into ``num_topics`` topics by k-means over their
+   *adopter profiles* (an item is represented by which users adopted
+   it, compressed by a truncated SVD) — items spread through similar
+   crowds share a topic;
+2. one Inf2vec model is trained per topic on that topic's episodes, so
+   a user can be influential in one topic and a nobody in another
+   (the same refinement Barbieri et al.'s topic-aware IC makes over
+   plain IC);
+3. prediction for an item routes to its topic's model; unseen items
+   are assigned to the nearest topic centroid by their (partial)
+   adopter profile, with a global model as the fallback.
+
+The extension reuses the entire core stack — only the episode routing
+is new.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.inf2vec import Inf2vecConfig, Inf2vecModel
+from repro.core.prediction import EmbeddingPredictor
+from repro.data.actionlog import ActionLog
+from repro.data.graph import SocialGraph
+from repro.errors import NotFittedError, TrainingError
+from repro.eval.activation import iter_test_candidates
+from repro.eval.metrics import EvaluationResult, RankingEvaluator
+from repro.extensions.clustering import kmeans
+from repro.utils.logging import get_logger
+from repro.utils.rng import SeedLike, ensure_rng
+from repro.utils.validation import check_positive_int
+
+logger = get_logger("extensions.topic_inf2vec")
+
+
+@dataclass(frozen=True)
+class TopicConfig:
+    """Topic-routing parameters.
+
+    Attributes
+    ----------
+    num_topics:
+        Number of item topics ``T``.
+    profile_dim:
+        Truncated-SVD dimensionality of the adopter profiles fed to
+        k-means.
+    min_episodes_per_topic:
+        Topics with fewer training episodes fall back to the global
+        model (too little data to specialise).
+    """
+
+    num_topics: int = 4
+    profile_dim: int = 16
+    min_episodes_per_topic: int = 5
+
+    def __post_init__(self) -> None:
+        check_positive_int("num_topics", self.num_topics)
+        check_positive_int("profile_dim", self.profile_dim)
+        check_positive_int("min_episodes_per_topic", self.min_episodes_per_topic)
+
+
+def adopter_profiles(
+    log: ActionLog, dim: int
+) -> tuple[np.ndarray, list[int], np.ndarray]:
+    """Compressed adopter profile per item.
+
+    Builds the binary item × user adoption matrix, L2-normalises each
+    item's row (so clustering sees *who* adopted, not *how many* — raw
+    counts make k-means split by episode size instead of audience),
+    and projects onto the top ``dim`` right singular vectors.  Returns
+    ``(profiles, items, projection)`` where ``projection`` maps a raw
+    normalised user-space profile into the compressed space (used to
+    place unseen items).
+    """
+    items = log.items()
+    if not items:
+        raise TrainingError("cannot build profiles from an empty log")
+    matrix = np.zeros((len(items), log.num_users))
+    for row, item in enumerate(items):
+        matrix[row, log[item].users] = 1.0
+    norms = np.linalg.norm(matrix, axis=1)
+    matrix /= np.where(norms > 0, norms, 1.0)[:, None]
+    dim = min(dim, min(matrix.shape))
+    # Economy SVD; matrix is small (items x users at library scale).
+    _u, _s, vt = np.linalg.svd(matrix, full_matrices=False)
+    projection = vt[:dim].T  # (num_users, dim)
+    return matrix @ projection, items, projection
+
+
+class TopicInf2vec:
+    """Topic-aware Inf2vec: one embedding space per item topic.
+
+    Parameters
+    ----------
+    base_config:
+        Inf2vec settings shared by the global and per-topic models.
+    topic_config:
+        Topic clustering/routing settings.
+    seed:
+        Master seed; child models get derived seeds.
+    """
+
+    def __init__(
+        self,
+        base_config: Inf2vecConfig | None = None,
+        topic_config: TopicConfig | None = None,
+        seed: SeedLike = None,
+    ):
+        self.base_config = base_config if base_config is not None else Inf2vecConfig()
+        self.topic_config = topic_config if topic_config is not None else TopicConfig()
+        self._rng = ensure_rng(seed)
+        self._global_model: Inf2vecModel | None = None
+        self._topic_models: dict[int, Inf2vecModel] = {}
+        self._item_topic: dict[int, int] = {}
+        self._centroids: np.ndarray | None = None
+        self._projection: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    # Fitting
+    # ------------------------------------------------------------------
+
+    def fit(self, graph: SocialGraph, log: ActionLog) -> "TopicInf2vec":
+        """Cluster items into topics, then train global + topic models."""
+        profiles, items, projection = adopter_profiles(
+            log, self.topic_config.profile_dim
+        )
+        self._projection = projection
+        num_topics = min(self.topic_config.num_topics, len(items))
+        result = kmeans(profiles, num_topics, seed=self._rng)
+        self._centroids = result.centroids
+        self._item_topic = {
+            item: int(label) for item, label in zip(items, result.labels)
+        }
+
+        self._global_model = Inf2vecModel(self.base_config, seed=self._rng)
+        self._global_model.fit(graph, log)
+
+        for topic in range(num_topics):
+            topic_items = [
+                item for item, label in self._item_topic.items() if label == topic
+            ]
+            if len(topic_items) < self.topic_config.min_episodes_per_topic:
+                logger.debug(
+                    "topic %d has only %d episodes; using global fallback",
+                    topic,
+                    len(topic_items),
+                )
+                continue
+            sub_log = log.restrict_items(topic_items)
+            model = Inf2vecModel(self.base_config, seed=self._rng)
+            model.fit(graph, sub_log)
+            self._topic_models[topic] = model
+        logger.info(
+            "trained %d topic models over %d topics",
+            len(self._topic_models),
+            num_topics,
+        )
+        return self
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+
+    @property
+    def is_fitted(self) -> bool:
+        """Whether :meth:`fit` has completed."""
+        return self._global_model is not None
+
+    def _require_fitted(self) -> None:
+        if not self.is_fitted:
+            raise NotFittedError("TopicInf2vec is not fitted yet")
+
+    def topic_of(self, item: int, adopters: np.ndarray | None = None) -> int | None:
+        """Topic of ``item``; unseen items are placed by adopter profile.
+
+        Returns ``None`` when the item is unknown and no adopters are
+        given to place it.
+        """
+        self._require_fitted()
+        known = self._item_topic.get(int(item))
+        if known is not None:
+            return known
+        if adopters is None or self._centroids is None or self._projection is None:
+            return None
+        profile = np.zeros(self._projection.shape[0])
+        profile[np.asarray(adopters, dtype=np.int64)] = 1.0
+        norm = np.linalg.norm(profile)
+        if norm > 0:
+            profile /= norm
+        compressed = profile @ self._projection
+        distances = np.linalg.norm(self._centroids - compressed, axis=1)
+        return int(np.argmin(distances))
+
+    def predictor_for_item(
+        self, item: int, adopters: np.ndarray | None = None
+    ) -> EmbeddingPredictor:
+        """The Eq. 7 predictor of ``item``'s topic (global fallback)."""
+        self._require_fitted()
+        topic = self.topic_of(item, adopters)
+        model = self._topic_models.get(topic) if topic is not None else None
+        if model is None:
+            assert self._global_model is not None
+            model = self._global_model
+        return EmbeddingPredictor(model.embedding)
+
+    @property
+    def num_topic_models(self) -> int:
+        """How many topics got their own specialised model."""
+        return len(self._topic_models)
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+
+    def evaluate_activation(
+        self, graph: SocialGraph, test_log: ActionLog
+    ) -> EvaluationResult:
+        """Topic-routed activation prediction (same protocol as core)."""
+        self._require_fitted()
+        evaluator = RankingEvaluator()
+        for episode, candidates in iter_test_candidates(graph, test_log):
+            predictor = self.predictor_for_item(episode.item, episode.users)
+            scores = [
+                predictor.activation_score(c.user, c.active_friends)
+                for c in candidates
+            ]
+            labels = [c.label for c in candidates]
+            evaluator.add_query(np.asarray(scores), np.asarray(labels))
+        return evaluator.result()

@@ -1,0 +1,51 @@
+"""Logging configuration for the library.
+
+The library only ever attaches a :class:`logging.NullHandler` at import
+time (standard library etiquette); applications opt into console output
+via :func:`configure_logging`.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+PACKAGE_LOGGER_NAME = "repro"
+
+_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+_DATE_FORMAT = "%H:%M:%S"
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return a logger namespaced under the package logger.
+
+    ``get_logger("core.inf2vec")`` yields the ``repro.core.inf2vec``
+    logger, so one call to :func:`configure_logging` controls the whole
+    library.
+    """
+    if name.startswith(PACKAGE_LOGGER_NAME):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{PACKAGE_LOGGER_NAME}.{name}")
+
+
+def configure_logging(level: int = logging.INFO) -> logging.Logger:
+    """Attach a stderr handler to the package logger (idempotent).
+
+    Returns the package root logger so callers can tweak it further.
+    """
+    root = logging.getLogger(PACKAGE_LOGGER_NAME)
+    root.setLevel(level)
+    has_stream_handler = any(
+        isinstance(handler, logging.StreamHandler)
+        and not isinstance(handler, logging.NullHandler)
+        for handler in root.handlers
+    )
+    if not has_stream_handler:
+        handler = logging.StreamHandler(sys.stderr)
+        handler.setFormatter(logging.Formatter(_FORMAT, datefmt=_DATE_FORMAT))
+        root.addHandler(handler)
+    return root
+
+
+# Library etiquette: silence "No handlers could be found" warnings.
+logging.getLogger(PACKAGE_LOGGER_NAME).addHandler(logging.NullHandler())

@@ -1,0 +1,66 @@
+"""Deterministic random-number plumbing.
+
+Every stochastic component in this library (cascade simulation, random
+walks, negative sampling, SGD shuffling, ...) accepts either an integer
+seed, an existing :class:`numpy.random.Generator`, or ``None``.  The
+helpers here normalise those three spellings so components never call
+:func:`numpy.random.default_rng` ad hoc, which keeps experiments
+reproducible end to end.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+#: The canonical RNG type used throughout the library.
+RandomState = np.random.Generator
+
+#: Anything :func:`ensure_rng` accepts.
+SeedLike = Union[None, int, np.integer, RandomState]
+
+
+def ensure_rng(seed: SeedLike = None) -> RandomState:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` for OS entropy, an integer for a fresh deterministic
+        generator, or an existing generator which is returned as-is
+        (so a caller can thread one generator through a pipeline).
+
+    Raises
+    ------
+    TypeError
+        If ``seed`` is none of the accepted types.
+    """
+    if seed is None:
+        return np.random.default_rng()
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if isinstance(seed, (int, np.integer)):
+        return np.random.default_rng(int(seed))
+    raise TypeError(
+        f"seed must be None, an int, or a numpy Generator, got {type(seed).__name__}"
+    )
+
+
+def spawn_rngs(seed: SeedLike, count: int) -> list[RandomState]:
+    """Derive ``count`` statistically independent generators from ``seed``.
+
+    Uses :meth:`numpy.random.Generator.spawn` so the children are
+    independent streams regardless of how many draws the parent makes.
+
+    Parameters
+    ----------
+    seed:
+        Seed or generator for the parent stream.
+    count:
+        Number of child generators; must be non-negative.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    parent = ensure_rng(seed)
+    return list(parent.spawn(count))

@@ -1,0 +1,63 @@
+"""Wall-clock timing helpers used by the efficiency experiments (Fig 9)."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, TypeVar
+
+T = TypeVar("T")
+
+
+@dataclass
+class Timer:
+    """Accumulating wall-clock timer.
+
+    A single :class:`Timer` can time several non-overlapping intervals;
+    ``elapsed`` is their sum.  Used to measure per-iteration training
+    cost for the Fig 9 reproduction.
+
+    Examples
+    --------
+    >>> t = Timer()
+    >>> with t.measure():
+    ...     _ = sum(range(1000))
+    >>> t.elapsed > 0
+    True
+    >>> t.intervals
+    1
+    """
+
+    elapsed: float = 0.0
+    intervals: int = 0
+    _start: float | None = field(default=None, repr=False)
+
+    @contextmanager
+    def measure(self) -> Iterator["Timer"]:
+        """Context manager adding the block's duration to ``elapsed``."""
+        start = time.perf_counter()
+        try:
+            yield self
+        finally:
+            self.elapsed += time.perf_counter() - start
+            self.intervals += 1
+
+    @property
+    def mean(self) -> float:
+        """Mean interval duration in seconds (0.0 before any interval)."""
+        if self.intervals == 0:
+            return 0.0
+        return self.elapsed / self.intervals
+
+    def reset(self) -> None:
+        """Zero the accumulated time and interval count."""
+        self.elapsed = 0.0
+        self.intervals = 0
+
+
+def timed(func: Callable[[], T]) -> tuple[T, float]:
+    """Run ``func`` once and return ``(result, seconds)``."""
+    start = time.perf_counter()
+    result = func()
+    return result, time.perf_counter() - start

@@ -1,0 +1,82 @@
+"""Input-validation helpers.
+
+Thin wrappers that turn out-of-range hyper-parameters into clear
+:class:`ValueError`/:class:`TypeError` messages at API boundaries,
+instead of NaNs deep inside training loops.
+"""
+
+from __future__ import annotations
+
+import numbers
+from typing import Any
+
+import numpy as np
+
+
+def _check_real(name: str, value: Any) -> float:
+    if isinstance(value, bool) or not isinstance(value, numbers.Real):
+        raise TypeError(f"{name} must be a real number, got {type(value).__name__}")
+    as_float = float(value)
+    if not np.isfinite(as_float):
+        raise ValueError(f"{name} must be finite, got {value!r}")
+    return as_float
+
+
+def check_positive(name: str, value: Any) -> float:
+    """Validate that ``value`` is a finite real number > 0 and return it."""
+    as_float = _check_real(name, value)
+    if as_float <= 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+    return as_float
+
+
+def check_positive_int(name: str, value: Any) -> int:
+    """Validate that ``value`` is an integer >= 1 and return it as ``int``."""
+    if isinstance(value, bool) or not isinstance(value, numbers.Integral):
+        raise TypeError(f"{name} must be an integer, got {type(value).__name__}")
+    as_int = int(value)
+    if as_int < 1:
+        raise ValueError(f"{name} must be >= 1, got {value!r}")
+    return as_int
+
+
+def check_non_negative_int(name: str, value: Any) -> int:
+    """Validate that ``value`` is an integer >= 0 and return it as ``int``."""
+    if isinstance(value, bool) or not isinstance(value, numbers.Integral):
+        raise TypeError(f"{name} must be an integer, got {type(value).__name__}")
+    as_int = int(value)
+    if as_int < 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+    return as_int
+
+
+def check_probability(name: str, value: Any) -> float:
+    """Validate that ``value`` lies in the closed interval [0, 1]."""
+    as_float = _check_real(name, value)
+    if not 0.0 <= as_float <= 1.0:
+        raise ValueError(f"{name} must lie in [0, 1], got {value!r}")
+    return as_float
+
+
+def check_fraction(name: str, value: Any) -> float:
+    """Validate that ``value`` lies in the half-open interval (0, 1]."""
+    as_float = _check_real(name, value)
+    if not 0.0 < as_float <= 1.0:
+        raise ValueError(f"{name} must lie in (0, 1], got {value!r}")
+    return as_float
+
+
+def check_in_range(
+    name: str, value: Any, low: float, high: float, *, inclusive: bool = True
+) -> float:
+    """Validate that ``value`` lies in ``[low, high]`` (or ``(low, high)``)."""
+    as_float = _check_real(name, value)
+    if inclusive:
+        ok = low <= as_float <= high
+        bounds = f"[{low}, {high}]"
+    else:
+        ok = low < as_float < high
+        bounds = f"({low}, {high})"
+    if not ok:
+        raise ValueError(f"{name} must lie in {bounds}, got {value!r}")
+    return as_float

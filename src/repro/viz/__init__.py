@@ -1,0 +1,24 @@
+"""Visualisation: exact t-SNE, quantified Fig 6, ASCII charts."""
+
+from repro.viz.ascii import line_chart_text, loglog_scatter_text, sorted_series
+from repro.viz.embedding_plot import (
+    VisualizationReport,
+    layout_to_text,
+    pair_proximity,
+    visualization_report,
+)
+from repro.viz.tsne import TSNEConfig, kl_divergence, pairwise_squared_distances, tsne
+
+__all__ = [
+    "line_chart_text",
+    "loglog_scatter_text",
+    "sorted_series",
+    "VisualizationReport",
+    "layout_to_text",
+    "pair_proximity",
+    "visualization_report",
+    "TSNEConfig",
+    "kl_divergence",
+    "pairwise_squared_distances",
+    "tsne",
+]

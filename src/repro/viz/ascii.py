@@ -1,0 +1,118 @@
+"""ASCII chart rendering for terminal-only environments.
+
+The paper's figures are scatter/line plots; with no plotting stack
+available offline, the experiment ``main()``s render them as text:
+
+* :func:`loglog_scatter_text` — the log–log frequency scatters of
+  Figures 1–2,
+* :func:`line_chart_text` — the CDF / sweep curves of Figures 3, 7, 8
+  and the timing lines of Figure 9.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping
+
+from repro.errors import EvaluationError
+
+
+def _blank(width: int, height: int) -> list[list[str]]:
+    return [[" "] * width for _ in range(height)]
+
+
+def _render(grid: list[list[str]]) -> str:
+    return "\n".join("".join(row) for row in grid)
+
+
+def loglog_scatter_text(
+    histogram: Mapping[int, int], width: int = 56, height: int = 16
+) -> str:
+    """Render a ``{frequency: count}`` histogram on log–log axes.
+
+    Reproduces the visual layout of Figures 1–2: X is the frequency a
+    user acts as source/target, Y the number of such users, both on
+    log10 scales; a power law shows as a descending straight line.
+    """
+    points = [(x, y) for x, y in histogram.items() if x > 0 and y > 0]
+    if len(points) < 2:
+        raise EvaluationError("need at least 2 positive histogram points")
+    log_points = [(math.log10(x), math.log10(y)) for x, y in points]
+    x_lo = min(p[0] for p in log_points)
+    x_hi = max(p[0] for p in log_points)
+    y_lo = min(p[1] for p in log_points)
+    y_hi = max(p[1] for p in log_points)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    plot_width = width - 8  # leave room for the Y-axis labels
+    grid = _blank(width, height)
+    for log_x, log_y in log_points:
+        col = 8 + int((log_x - x_lo) / x_span * (plot_width - 1))
+        row = (height - 2) - int((log_y - y_lo) / y_span * (height - 3))
+        grid[row][col] = "*"
+    # Axes.
+    for row in range(height - 1):
+        grid[row][7] = "|"
+    for col in range(7, width):
+        grid[height - 1][col] = "-"
+    top_label = f"{10 ** y_hi:>6.0f}"
+    bottom_label = f"{10 ** y_lo:>6.0f}"
+    grid[0][:6] = list(top_label[:6])
+    grid[height - 2][:6] = list(bottom_label[:6])
+    rendered = _render(grid)
+    x_axis = (
+        " " * 8
+        + f"{10 ** x_lo:<10.0f}"
+        + "log frequency".center(max(0, plot_width - 20))
+        + f"{10 ** x_hi:>10.0f}"
+    )
+    return rendered + "\n" + x_axis
+
+
+def line_chart_text(
+    series: Mapping[str, Mapping[float, float]],
+    width: int = 56,
+    height: int = 14,
+) -> str:
+    """Render one or more named (x -> y) series as an ASCII line chart.
+
+    Each series gets a distinct mark (its name's first character);
+    shared axes span the union of all points.
+    """
+    all_points = [
+        (float(x), float(y))
+        for points in series.values()
+        for x, y in points.items()
+    ]
+    if len(all_points) < 2:
+        raise EvaluationError("need at least 2 points across all series")
+    x_lo = min(p[0] for p in all_points)
+    x_hi = max(p[0] for p in all_points)
+    y_lo = min(p[1] for p in all_points)
+    y_hi = max(p[1] for p in all_points)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    plot_width = width - 9
+    grid = _blank(width, height)
+    for name, points in series.items():
+        mark = name.strip()[0] if name.strip() else "*"
+        for x, y in sorted(points.items()):
+            col = 9 + int((float(x) - x_lo) / x_span * (plot_width - 1))
+            row = (height - 2) - int((float(y) - y_lo) / y_span * (height - 3))
+            grid[row][col] = mark
+    for row in range(height - 1):
+        grid[row][8] = "|"
+    for col in range(8, width):
+        grid[height - 1][col] = "-"
+    grid[0][:7] = list(f"{y_hi:>7.3f}"[:7])
+    grid[height - 2][:7] = list(f"{y_lo:>7.3f}"[:7])
+    legend = "  ".join(f"{name.strip()[0]}={name}" for name in series)
+    x_axis = " " * 9 + f"{x_lo:<8.3g}" + " " * max(0, plot_width - 16) + f"{x_hi:>8.3g}"
+    return _render(grid) + "\n" + x_axis + "\nlegend: " + legend
+
+
+def sorted_series(values: Mapping[int, float]) -> dict[float, float]:
+    """Coerce an int-keyed series into the chart's float mapping."""
+    return {float(k): float(v) for k, v in sorted(values.items())}

@@ -1,0 +1,198 @@
+"""Exact t-SNE (van der Maaten & Hinton [31]) in pure numpy.
+
+The paper projects learned representations to 2-D with t-SNE for the
+Figure 6 visualisation.  scikit-learn is unavailable offline, so this
+is a from-scratch implementation of the exact algorithm — suitable for
+the few-hundred-point inputs the visualisation uses:
+
+* Gaussian input affinities with per-point bandwidths calibrated to a
+  target perplexity by binary search,
+* symmetrised joint distribution ``P`` with early exaggeration,
+* Student-t output affinities ``Q``,
+* KL(P‖Q) gradient descent with momentum switching.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import EvaluationError
+from repro.utils.rng import SeedLike, ensure_rng
+from repro.utils.validation import check_positive, check_positive_int
+
+_EPSILON = 1e-12
+
+
+def pairwise_squared_distances(points: np.ndarray) -> np.ndarray:
+    """Dense ``(n, n)`` matrix of squared Euclidean distances."""
+    points = np.asarray(points, dtype=np.float64)
+    norms = np.einsum("ij,ij->i", points, points)
+    distances = norms[:, None] + norms[None, :] - 2.0 * (points @ points.T)
+    np.maximum(distances, 0.0, out=distances)
+    np.fill_diagonal(distances, 0.0)
+    return distances
+
+
+def _conditional_probabilities(
+    squared_distances: np.ndarray, perplexity: float, tolerance: float = 1e-5
+) -> np.ndarray:
+    """Row-wise Gaussian affinities at the target perplexity."""
+    n = squared_distances.shape[0]
+    target_entropy = np.log(perplexity)
+    conditional = np.zeros((n, n), dtype=np.float64)
+    for i in range(n):
+        row = np.delete(squared_distances[i], i)
+        beta_low, beta_high = 0.0, np.inf
+        beta = 1.0
+        for _ in range(64):
+            weights = np.exp(-row * beta)
+            total = weights.sum()
+            if total <= 0:
+                entropy = 0.0
+                probabilities = np.zeros_like(row)
+            else:
+                probabilities = weights / total
+                entropy = -np.sum(
+                    probabilities * np.log(np.maximum(probabilities, _EPSILON))
+                )
+            error = entropy - target_entropy
+            if abs(error) < tolerance:
+                break
+            if error > 0:  # entropy too high -> sharpen
+                beta_low = beta
+                beta = beta * 2.0 if beta_high == np.inf else (beta + beta_high) / 2.0
+            else:
+                beta_high = beta
+                beta = (beta + beta_low) / 2.0
+        conditional[i, np.arange(n) != i] = probabilities
+    return conditional
+
+
+@dataclass(frozen=True)
+class TSNEConfig:
+    """t-SNE hyper-parameters (defaults follow the original paper).
+
+    ``learning_rate=None`` (the default) resolves to the standard
+    size-adaptive heuristic ``max(50, n / early_exaggeration)`` — a
+    fixed large step size overshoots badly on few-hundred-point inputs.
+    """
+
+    perplexity: float = 30.0
+    num_iterations: int = 500
+    learning_rate: float | None = None
+    early_exaggeration: float = 12.0
+    exaggeration_iterations: int = 100
+    initial_momentum: float = 0.5
+    final_momentum: float = 0.8
+    momentum_switch_iteration: int = 250
+
+    def __post_init__(self) -> None:
+        check_positive("perplexity", self.perplexity)
+        check_positive_int("num_iterations", self.num_iterations)
+        if self.learning_rate is not None:
+            check_positive("learning_rate", self.learning_rate)
+        check_positive("early_exaggeration", self.early_exaggeration)
+
+    def resolve_learning_rate(self, num_points: int) -> float:
+        """The effective step size for an ``num_points``-row input."""
+        if self.learning_rate is not None:
+            return self.learning_rate
+        return max(50.0, num_points / self.early_exaggeration)
+
+
+def tsne(
+    points: np.ndarray,
+    config: TSNEConfig | None = None,
+    seed: SeedLike = None,
+    num_components: int = 2,
+) -> np.ndarray:
+    """Embed ``points`` into ``num_components`` dimensions with t-SNE.
+
+    Parameters
+    ----------
+    points:
+        ``(n, d)`` input matrix; ``n`` must exceed ``3 * perplexity``
+        for the perplexity calibration to be meaningful (a clear error
+        is raised otherwise).
+    config:
+        Optimiser settings.
+    seed:
+        RNG seed for the Gaussian initialisation.
+    num_components:
+        Output dimensionality (2 for the Fig 6 use case).
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(n, num_components)`` embedding.
+    """
+    config = config if config is not None else TSNEConfig()
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2:
+        raise EvaluationError(f"points must be 2-D, got shape {points.shape}")
+    n = points.shape[0]
+    if n < 4:
+        raise EvaluationError(f"t-SNE needs at least 4 points, got {n}")
+    perplexity = min(config.perplexity, (n - 1) / 3.0)
+    rng = ensure_rng(seed)
+
+    conditional = _conditional_probabilities(
+        pairwise_squared_distances(points), perplexity
+    )
+    joint = (conditional + conditional.T) / (2.0 * n)
+    joint = np.maximum(joint, _EPSILON)
+
+    embedding = rng.normal(scale=1e-4, size=(n, num_components))
+    velocity = np.zeros_like(embedding)
+    gains = np.ones_like(embedding)
+    learning_rate = config.resolve_learning_rate(n)
+
+    exaggerated = joint * config.early_exaggeration
+    for iteration in range(config.num_iterations):
+        p_matrix = (
+            exaggerated
+            if iteration < config.exaggeration_iterations
+            else joint
+        )
+        distances = pairwise_squared_distances(embedding)
+        student = 1.0 / (1.0 + distances)
+        np.fill_diagonal(student, 0.0)
+        q_matrix = np.maximum(student / student.sum(), _EPSILON)
+
+        # KL gradient: 4 * sum_j (p_ij - q_ij) (y_i - y_j) (1+|y|^2)^-1
+        coefficient = (p_matrix - q_matrix) * student
+        gradient = 4.0 * (
+            np.diag(coefficient.sum(axis=1)) - coefficient
+        ) @ embedding
+
+        momentum = (
+            config.initial_momentum
+            if iteration < config.momentum_switch_iteration
+            else config.final_momentum
+        )
+        same_direction = np.sign(gradient) == np.sign(velocity)
+        gains = np.where(same_direction, gains * 0.8, gains + 0.2)
+        np.maximum(gains, 0.01, out=gains)
+        velocity = momentum * velocity - learning_rate * gains * gradient
+        embedding = embedding + velocity
+        embedding = embedding - embedding.mean(axis=0)
+
+    return embedding
+
+
+def kl_divergence(points: np.ndarray, embedding: np.ndarray, perplexity: float = 30.0) -> float:
+    """KL(P‖Q) of a finished embedding — the t-SNE objective value."""
+    points = np.asarray(points, dtype=np.float64)
+    n = points.shape[0]
+    perplexity = min(perplexity, (n - 1) / 3.0)
+    conditional = _conditional_probabilities(
+        pairwise_squared_distances(points), perplexity
+    )
+    joint = np.maximum((conditional + conditional.T) / (2.0 * n), _EPSILON)
+    distances = pairwise_squared_distances(np.asarray(embedding, dtype=np.float64))
+    student = 1.0 / (1.0 + distances)
+    np.fill_diagonal(student, 0.0)
+    q_matrix = np.maximum(student / student.sum(), _EPSILON)
+    return float(np.sum(joint * np.log(joint / q_matrix)))

@@ -1,0 +1,166 @@
+"""Unit tests for influence maximisation."""
+
+import numpy as np
+import pytest
+
+from repro.apps.influence_max import (
+    embedding_edge_probabilities,
+    embedding_seed_selection,
+    greedy_influence_maximization,
+)
+from repro.core.embeddings import InfluenceEmbedding
+from repro.data.graph import SocialGraph
+from repro.diffusion.probabilities import EdgeProbabilities
+from repro.errors import EvaluationError
+
+
+@pytest.fixture
+def star_probs() -> EdgeProbabilities:
+    """Node 0 reaches {1..4} deterministically; others reach nobody."""
+    graph = SocialGraph(6, [(0, 1), (0, 2), (0, 3), (0, 4), (5, 4)])
+    return EdgeProbabilities.from_dict(
+        graph, {(0, 1): 1.0, (0, 2): 1.0, (0, 3): 1.0, (0, 4): 1.0, (5, 4): 1.0}
+    )
+
+
+class TestGreedy:
+    def test_picks_hub_first(self, star_probs):
+        result = greedy_influence_maximization(star_probs, 1, num_runs=20, seed=0)
+        assert result.seeds == (0,)
+        assert result.expected_spread == pytest.approx(5.0)
+
+    def test_second_seed_adds_marginal_value(self, star_probs):
+        result = greedy_influence_maximization(star_probs, 2, num_runs=20, seed=0)
+        assert result.seeds[0] == 0
+        # 5 is the only node adding coverage beyond the hub's reach...
+        # actually 5 adds itself (4 already covered): gain 1, same as
+        # any uncovered singleton; the chosen one must add spread 1.
+        assert result.marginal_gains[1] == pytest.approx(1.0)
+
+    def test_gains_non_increasing(self, star_probs):
+        result = greedy_influence_maximization(star_probs, 3, num_runs=20, seed=0)
+        gains = list(result.marginal_gains)
+        assert gains == sorted(gains, reverse=True)
+
+    def test_candidate_pool_respected(self, star_probs):
+        result = greedy_influence_maximization(
+            star_probs, 1, num_runs=20, seed=0, candidates=[1, 2]
+        )
+        assert result.seeds[0] in (1, 2)
+
+    def test_invalid_inputs(self, star_probs):
+        with pytest.raises(EvaluationError):
+            greedy_influence_maximization(star_probs, 99, num_runs=5)
+        with pytest.raises(EvaluationError):
+            greedy_influence_maximization(
+                star_probs, 2, num_runs=5, candidates=[0]
+            )
+        with pytest.raises(ValueError):
+            greedy_influence_maximization(star_probs, 0, num_runs=5)
+
+
+class TestEmbeddingSelection:
+    def test_high_influence_user_selected(self):
+        source = np.zeros((5, 2))
+        source[3] = [5.0, 0.0]  # strongly influences the first audience
+        target = np.zeros((5, 2))
+        target[[0, 1]] = [1.0, 0.0]  # audience one
+        target[[2, 4]] = [0.0, 1.0]  # audience two
+        emb = InfluenceEmbedding(source, target, np.zeros(5), np.zeros(5))
+        result = embedding_seed_selection(emb, 1)
+        assert result.seeds == (3,)
+
+    def test_uniform_row_treated_as_calibration(self):
+        """A user scoring everyone identically has no usable signal —
+        the per-source centring removes the constant offset."""
+        source = np.zeros((4, 2))
+        source[0] = [9.0, 9.0]  # uniform against all-ones targets
+        source[1] = [1.0, -1.0]  # heterogeneous
+        target = np.ones((4, 2))
+        target[2] = [1.0, -1.0]
+        emb = InfluenceEmbedding(source, target, np.zeros(4), np.zeros(4))
+        result = embedding_seed_selection(emb, 1)
+        assert result.seeds == (1,)
+
+    def test_diversity_penalty_spreads_seeds(self):
+        # Users 0/1 influence the same direction; 2 a different one.
+        source = np.array([[4.0, 0.0], [3.9, 0.0], [0.0, 3.0], [0.0, 0.1]])
+        target = np.eye(2)[[0, 0, 1, 1]].astype(float)
+        emb = InfluenceEmbedding(source, target, np.zeros(4), np.zeros(4))
+        result = embedding_seed_selection(emb, 2, coverage_penalty=2.0)
+        assert result.seeds[0] == 0
+        assert result.seeds[1] == 2  # not the redundant user 1
+
+    def test_no_duplicates(self):
+        rng = np.random.default_rng(0)
+        emb = InfluenceEmbedding(
+            rng.normal(size=(10, 4)),
+            rng.normal(size=(10, 4)),
+            np.zeros(10),
+            np.zeros(10),
+        )
+        result = embedding_seed_selection(emb, 5)
+        assert len(set(result.seeds)) == 5
+
+    def test_invalid_inputs(self):
+        emb = InfluenceEmbedding(
+            np.zeros((3, 2)), np.zeros((3, 2)), np.zeros(3), np.zeros(3)
+        )
+        with pytest.raises(EvaluationError):
+            embedding_seed_selection(emb, 4)
+        with pytest.raises(EvaluationError):
+            embedding_seed_selection(emb, 1, coverage_penalty=-1.0)
+
+
+class TestEmbeddingEdgeProbabilities:
+    @pytest.fixture
+    def graph(self) -> SocialGraph:
+        return SocialGraph(5, [(0, 1), (0, 2), (1, 3), (2, 4), (3, 0)])
+
+    @pytest.fixture
+    def embedding(self) -> InfluenceEmbedding:
+        rng = np.random.default_rng(3)
+        return InfluenceEmbedding(
+            rng.normal(size=(5, 3)),
+            rng.normal(size=(5, 3)),
+            rng.normal(size=5),
+            rng.normal(size=5),
+        )
+
+    def test_mean_matches_target(self, graph, embedding):
+        probs = embedding_edge_probabilities(graph=graph, embedding=embedding,
+                                             mean_probability=0.07)
+        assert probs.values.mean() == pytest.approx(0.07, abs=1e-4)
+        assert probs.values.min() >= 0.0
+        assert probs.values.max() <= 1.0
+
+    def test_preserves_centered_score_order(self, graph, embedding):
+        probs = embedding_edge_probabilities(embedding, graph, 0.2)
+        pairwise = (
+            embedding.source @ embedding.target.T
+            + embedding.source_bias[:, None]
+            + embedding.target_bias[None, :]
+        )
+        medians = np.median(pairwise, axis=1)
+        edges = graph.edge_array()
+        centered = [
+            pairwise[u, v] - medians[u] for u, v in edges
+        ]
+        order_scores = np.argsort(centered)
+        order_probs = np.argsort(probs.values)
+        assert np.array_equal(order_scores, order_probs)
+
+    def test_degenerate_targets(self, graph, embedding):
+        zeros = embedding_edge_probabilities(embedding, graph, 0.0)
+        ones = embedding_edge_probabilities(embedding, graph, 1.0)
+        assert np.all(zeros.values == 0.0)
+        assert np.all(ones.values == 1.0)
+
+    def test_empty_graph(self, embedding):
+        graph = SocialGraph(5, [])
+        probs = embedding_edge_probabilities(embedding, graph, 0.1)
+        assert probs.values.shape == (0,)
+
+    def test_invalid_mean(self, graph, embedding):
+        with pytest.raises(ValueError):
+            embedding_edge_probabilities(embedding, graph, 1.5)

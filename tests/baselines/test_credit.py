@@ -1,0 +1,122 @@
+"""Unit tests for the Credit Distribution baseline."""
+
+import pytest
+
+from repro.baselines.credit import CreditDistributionModel
+from repro.data.actionlog import ActionLog, DiffusionEpisode
+from repro.data.graph import SocialGraph
+from repro.errors import EvaluationError, NotFittedError
+
+
+@pytest.fixture
+def chain_graph() -> SocialGraph:
+    return SocialGraph(4, [(0, 1), (1, 2), (2, 3)])
+
+
+class TestDirectCredit:
+    def test_single_influencer_full_credit(self, chain_graph):
+        log = ActionLog(
+            [
+                DiffusionEpisode(0, [(0, 1.0), (1, 2.0)]),
+                DiffusionEpisode(1, [(1, 1.0)]),
+            ],
+            num_users=4,
+        )
+        model = CreditDistributionModel().fit(chain_graph, log)
+        # u=0 influenced v=1 once; v took 2 actions total: kappa = 1/2.
+        assert model.credit(0, 1) == pytest.approx(0.5)
+
+    def test_credit_split_among_influencers(self):
+        graph = SocialGraph(3, [(0, 2), (1, 2)])
+        log = ActionLog(
+            [DiffusionEpisode(0, [(0, 1.0), (1, 2.0), (2, 3.0)])], num_users=3
+        )
+        model = CreditDistributionModel().fit(graph, log)
+        # Both friends active before 2: each gets 1/2 of one action.
+        assert model.credit(0, 2) == pytest.approx(0.5)
+        assert model.credit(1, 2) == pytest.approx(0.5)
+
+    def test_unobserved_pair_zero(self, chain_graph):
+        log = ActionLog([DiffusionEpisode(0, [(0, 1.0)])], num_users=4)
+        model = CreditDistributionModel().fit(chain_graph, log)
+        assert model.credit(0, 1) == 0.0
+
+
+class TestPropagatedCredit:
+    def test_second_order_chain(self, chain_graph):
+        """0 -> 1 -> 2 in one episode gives 0 credit on 2 (depth 2)."""
+        log = ActionLog(
+            [DiffusionEpisode(0, [(0, 1.0), (1, 2.0), (2, 3.0)])], num_users=4
+        )
+        model = CreditDistributionModel(max_depth=2).fit(chain_graph, log)
+        # Direct: gamma_01 = 1, gamma_12 = 1; propagated Gamma_02 = 1.
+        # Normalised by A_2 = 1 action.
+        assert model.credit(0, 2) == pytest.approx(1.0)
+
+    def test_depth_one_has_no_second_order(self, chain_graph):
+        log = ActionLog(
+            [DiffusionEpisode(0, [(0, 1.0), (1, 2.0), (2, 3.0)])], num_users=4
+        )
+        model = CreditDistributionModel(max_depth=1).fit(chain_graph, log)
+        assert model.credit(0, 2) == 0.0
+        assert model.credit(0, 1) == pytest.approx(1.0)
+
+    def test_third_order_requires_depth_three(self, chain_graph):
+        log = ActionLog(
+            [
+                DiffusionEpisode(
+                    0, [(0, 1.0), (1, 2.0), (2, 3.0), (3, 4.0)]
+                )
+            ],
+            num_users=4,
+        )
+        shallow = CreditDistributionModel(max_depth=2).fit(chain_graph, log)
+        deep = CreditDistributionModel(max_depth=3).fit(chain_graph, log)
+        assert shallow.credit(0, 3) == 0.0
+        assert deep.credit(0, 3) == pytest.approx(1.0)
+
+
+class TestPrediction:
+    @pytest.fixture
+    def model(self, chain_graph):
+        log = ActionLog(
+            [
+                DiffusionEpisode(i, [(0, 1.0), (1, 2.0), (2, 3.0)])
+                for i in range(3)
+            ],
+            num_users=4,
+        )
+        return CreditDistributionModel().fit(chain_graph, log)
+
+    def test_activation_score_sums_credit(self, model):
+        predictor = model.predictor()
+        assert predictor.activation_score(1, [0]) == pytest.approx(1.0)
+        assert predictor.activation_score(3, [2]) == 0.0
+
+    def test_activation_score_capped(self, model):
+        predictor = model.predictor()
+        assert predictor.activation_score(2, [0, 1]) <= 1.0
+
+    def test_activation_requires_friends(self, model):
+        with pytest.raises(EvaluationError):
+            model.predictor().activation_score(1, [])
+
+    def test_diffusion_scores_propagate(self, model):
+        scores = model.predictor().diffusion_scores([0])
+        assert scores[0] == 1.0
+        assert scores[1] > 0.0
+        assert scores[2] > 0.0  # second-order reach
+        assert scores[3] == 0.0  # never influenced in training
+
+    def test_diffusion_requires_seeds(self, model):
+        with pytest.raises(EvaluationError):
+            model.predictor().diffusion_scores([])
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            CreditDistributionModel().predictor()
+
+    def test_registry_lookup(self):
+        from repro.baselines import make_method
+
+        assert isinstance(make_method("CD"), CreditDistributionModel)

@@ -1,0 +1,46 @@
+"""Unit tests for the DE baseline."""
+
+import pytest
+
+from repro.baselines.degree import DegreeModel
+from repro.data.actionlog import ActionLog
+from repro.data.graph import SocialGraph
+from repro.errors import NotFittedError
+
+
+class TestDegreeModel:
+    def test_probability_is_inverse_indegree(self, tiny_graph, tiny_log):
+        model = DegreeModel().fit(tiny_graph, tiny_log)
+        probs = model.edge_probabilities()
+        # node 0 has in-neighbours {2, 3}: indegree 2.
+        assert probs.get(2, 0) == pytest.approx(0.5)
+        assert probs.get(3, 0) == pytest.approx(0.5)
+        # node 4 has indegree 1.
+        assert probs.get(3, 4) == pytest.approx(1.0)
+
+    def test_ignores_action_log(self, tiny_graph, tiny_log):
+        empty = ActionLog([], num_users=5)
+        a = DegreeModel().fit(tiny_graph, tiny_log).edge_probabilities()
+        b = DegreeModel().fit(tiny_graph, empty).edge_probabilities()
+        assert a.values.tolist() == b.values.tolist()
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            DegreeModel().edge_probabilities()
+        with pytest.raises(NotFittedError):
+            DegreeModel().predictor()
+
+    def test_predictor_activation(self, tiny_graph, tiny_log):
+        model = DegreeModel().fit(tiny_graph, tiny_log)
+        predictor = model.predictor(num_runs=10, seed=0)
+        score = predictor.activation_score(0, [2, 3])
+        # Eq. 8: 1 - (1-0.5)(1-0.5) = 0.75
+        assert score == pytest.approx(0.75)
+
+    def test_name(self):
+        assert DegreeModel.name == "DE"
+
+    def test_fit_returns_self(self, tiny_graph, tiny_log):
+        model = DegreeModel()
+        assert model.fit(tiny_graph, tiny_log) is model
+        assert model.is_fitted

@@ -1,0 +1,85 @@
+"""Unit tests for the EM (Saito) baseline."""
+
+import pytest
+
+from repro.baselines.em_ic import EMModel
+from repro.data.actionlog import ActionLog, DiffusionEpisode
+from repro.data.graph import SocialGraph
+from repro.errors import NotFittedError, TrainingError
+
+
+@pytest.fixture
+def graph() -> SocialGraph:
+    return SocialGraph(3, [(0, 1), (1, 2)])
+
+
+class TestEMModel:
+    def test_single_influencer_converges_to_frequency(self, graph):
+        """With one possible influencer, EM reduces to the MLE ratio."""
+        episodes = [
+            DiffusionEpisode(0, [(0, 1.0), (1, 2.0)]),  # success
+            DiffusionEpisode(1, [(0, 1.0)]),  # failure
+            DiffusionEpisode(2, [(0, 1.0), (1, 2.0)]),  # success
+            DiffusionEpisode(3, [(0, 1.0)]),  # failure
+        ]
+        log = ActionLog(episodes, num_users=3)
+        model = EMModel(max_iterations=50).fit(graph, log)
+        assert model.edge_probabilities().get(0, 1) == pytest.approx(0.5, abs=1e-3)
+
+    def test_credit_split_between_influencers(self):
+        """Two always-co-active influencers share responsibility."""
+        graph = SocialGraph(3, [(0, 2), (1, 2)])
+        episodes = [
+            DiffusionEpisode(i, [(0, 1.0), (1, 2.0), (2, 3.0)]) for i in range(4)
+        ]
+        log = ActionLog(episodes, num_users=3)
+        model = EMModel(max_iterations=100).fit(graph, log)
+        p_02 = model.edge_probabilities().get(0, 2)
+        p_12 = model.edge_probabilities().get(1, 2)
+        # Symmetric evidence -> symmetric probabilities; joint success
+        # probability must explain every observation: 1-(1-p)^2 ~ 1.
+        assert p_02 == pytest.approx(p_12, abs=1e-6)
+        assert 1 - (1 - p_02) * (1 - p_12) > 0.9
+
+    def test_no_trials_edge_stays_zero(self, graph):
+        log = ActionLog([DiffusionEpisode(0, [(2, 1.0)])], num_users=3)
+        model = EMModel().fit(graph, log)
+        assert model.edge_probabilities().get(0, 1) == 0.0
+
+    def test_pure_failures_drive_probability_down(self, graph):
+        episodes = [DiffusionEpisode(i, [(0, float(i))]) for i in range(5)]
+        log = ActionLog(episodes, num_users=3)
+        model = EMModel(max_iterations=30).fit(graph, log)
+        assert model.edge_probabilities().get(0, 1) == pytest.approx(0.0, abs=1e-6)
+
+    def test_early_stopping(self, graph):
+        log = ActionLog(
+            [DiffusionEpisode(0, [(0, 1.0), (1, 2.0)])], num_users=3
+        )
+        model = EMModel(max_iterations=50, tolerance=1e-3).fit(graph, log)
+        assert model.iterations_run < 50
+
+    def test_empty_log(self, graph):
+        model = EMModel().fit(graph, ActionLog([], num_users=3))
+        assert model.edge_probabilities().get(0, 1) == 0.0
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            EMModel(max_iterations=0)
+        with pytest.raises(TrainingError):
+            EMModel(tolerance=-1.0)
+        with pytest.raises(TrainingError):
+            EMModel(initial_probability=0.0)
+        with pytest.raises(ValueError):
+            EMModel(initial_probability=1.5)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            EMModel().edge_probabilities()
+
+    def test_probabilities_stay_in_range(self, graph, small_dataset, small_splits):
+        train, _, _ = small_splits
+        model = EMModel(max_iterations=10).fit(small_dataset.graph, train)
+        values = model.edge_probabilities().values
+        assert values.min() >= 0.0
+        assert values.max() <= 1.0

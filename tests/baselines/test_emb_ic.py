@@ -1,0 +1,98 @@
+"""Unit tests for the Emb-IC (embedded cascade) baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.emb_ic import EmbICModel
+from repro.data.actionlog import ActionLog, DiffusionEpisode
+from repro.data.graph import SocialGraph
+from repro.errors import NotFittedError
+
+
+@pytest.fixture
+def graph() -> SocialGraph:
+    return SocialGraph(6, [(0, 1), (1, 2), (3, 4), (0, 2)])
+
+
+@pytest.fixture
+def log() -> ActionLog:
+    """0 repeatedly propagates to 1 then 2; users 3-5 inactive."""
+    episodes = [
+        DiffusionEpisode(i, [(0, 1.0), (1, 2.0), (2, 3.0)]) for i in range(10)
+    ]
+    return ActionLog(episodes, num_users=6)
+
+
+class TestEmbICModel:
+    def test_propagating_pairs_get_higher_probability(self, graph, log):
+        model = EmbICModel(dim=4, em_iterations=4, seed=0).fit(graph, log)
+        p_in_cascade = model.probability(0, 1)
+        p_never = model.probability(0, 5)
+        assert p_in_cascade > p_never
+
+    def test_probability_in_unit_interval(self, graph, log):
+        model = EmbICModel(dim=4, em_iterations=2, seed=0).fit(graph, log)
+        for u in range(6):
+            for v in range(6):
+                if u != v:
+                    assert 0.0 <= model.probability(u, v) <= 1.0
+
+    def test_edge_probabilities_on_graph(self, graph, log):
+        model = EmbICModel(dim=4, em_iterations=2, seed=0).fit(graph, log)
+        probs = model.edge_probabilities()
+        assert probs.values.shape == (graph.num_edges,)
+        assert probs.get(0, 1) == pytest.approx(model.probability(0, 1))
+
+    def test_representations_shape(self, graph, log):
+        model = EmbICModel(dim=4, em_iterations=1, seed=0).fit(graph, log)
+        sender, receiver = model.representations()
+        assert sender.shape == (6, 4)
+        assert receiver.shape == (6, 4)
+
+    def test_empty_log(self, graph):
+        model = EmbICModel(dim=4, seed=0).fit(graph, ActionLog([], num_users=6))
+        assert model.is_fitted
+
+    def test_max_influencers_cap(self, graph):
+        episode = DiffusionEpisode(0, [(u, float(u)) for u in range(6)])
+        log = ActionLog([episode], num_users=6)
+        model = EmbICModel(dim=2, max_influencers=2, seed=0)
+        pos_case, pos_sender, pos_receiver, _, num_cases = model._collect_cases(log)
+        # Every non-first adopter has at most 2 influencers.
+        counts = np.bincount(pos_case, minlength=num_cases)
+        assert counts.max() <= 2
+
+    def test_exhaustive_failures_enumerate_non_adopters(self, graph):
+        episode = DiffusionEpisode(0, [(0, 1.0), (1, 2.0)])
+        log = ActionLog([episode], num_users=6)
+        model = EmbICModel(dim=2, exhaustive_failures=True, seed=0)
+        _, _, _, failed, _ = model._collect_cases(log)
+        # 2 adopters x 4 non-adopters = 8 failed transmissions.
+        assert failed.shape == (8, 2)
+        senders = set(failed[:, 0].tolist())
+        receivers = set(failed[:, 1].tolist())
+        assert senders == {0, 1}
+        assert receivers == {2, 3, 4, 5}
+
+    def test_exhaustive_mode_trains(self, graph, log):
+        model = EmbICModel(
+            dim=2, em_iterations=1, exhaustive_failures=True, seed=0
+        ).fit(graph, log)
+        assert model.is_fitted
+
+    def test_deterministic_under_seed(self, graph, log):
+        a = EmbICModel(dim=4, em_iterations=2, seed=9).fit(graph, log)
+        b = EmbICModel(dim=4, em_iterations=2, seed=9).fit(graph, log)
+        assert a.probability(0, 1) == pytest.approx(b.probability(0, 1))
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            EmbICModel().edge_probabilities()
+        with pytest.raises(NotFittedError):
+            EmbICModel().probability(0, 1)
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            EmbICModel(dim=0)
+        with pytest.raises(ValueError):
+            EmbICModel(learning_rate=0)

@@ -1,0 +1,71 @@
+"""Unit tests for the MF (BPR) baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.mf import MFModel
+from repro.data.actionlog import ActionLog, DiffusionEpisode
+from repro.data.graph import SocialGraph
+from repro.errors import NotFittedError, TrainingError
+
+
+@pytest.fixture
+def graph() -> SocialGraph:
+    return SocialGraph(6, [(0, 1)])
+
+
+@pytest.fixture
+def co_action_log() -> ActionLog:
+    """Users {0,1,2} always co-act; users {3,4,5} never act."""
+    episodes = [
+        DiffusionEpisode(i, [(0, 1.0), (1, 2.0), (2, 3.0)]) for i in range(8)
+    ]
+    return ActionLog(episodes, num_users=6)
+
+
+class TestMFModel:
+    def test_co_actors_outscore_non_actors(self, graph, co_action_log):
+        model = MFModel(dim=8, epochs=20, seed=0).fit(graph, co_action_log)
+        emb = model.embedding()
+        assert emb.score(0, 1) > emb.score(0, 4)
+        assert emb.score(1, 2) > emb.score(1, 5)
+
+    def test_biases_zero(self, graph, co_action_log):
+        model = MFModel(dim=4, epochs=2, seed=0).fit(graph, co_action_log)
+        emb = model.embedding()
+        assert np.all(emb.source_bias == 0)
+        assert np.all(emb.target_bias == 0)
+
+    def test_co_action_counts(self, graph, co_action_log):
+        model = MFModel(dim=4, epochs=1, seed=0).fit(graph, co_action_log)
+        assert model.co_action_count(0) == 2
+        assert model.co_action_count(3) == 0
+
+    def test_empty_log_keeps_random_factors(self, graph):
+        model = MFModel(dim=4, epochs=2, seed=0).fit(
+            graph, ActionLog([], num_users=6)
+        )
+        assert model.is_fitted
+        assert model.embedding().num_users == 6
+
+    def test_pair_sampling_cap(self, graph):
+        episode = DiffusionEpisode(0, [(u, float(u)) for u in range(6)])
+        log = ActionLog([episode], num_users=6)
+        model = MFModel(dim=4, epochs=1, max_pairs_per_episode=5, seed=0)
+        pairs = model._co_action_pairs(log)
+        assert pairs.shape[0] <= 5
+
+    def test_deterministic_under_seed(self, graph, co_action_log):
+        a = MFModel(dim=4, epochs=2, seed=3).fit(graph, co_action_log)
+        b = MFModel(dim=4, epochs=2, seed=3).fit(graph, co_action_log)
+        assert np.array_equal(a.embedding().source, b.embedding().source)
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            MFModel(dim=0)
+        with pytest.raises(TrainingError):
+            MFModel(regularization=-0.1)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            MFModel().embedding()

@@ -1,0 +1,79 @@
+"""Unit tests for the method registry and the Inf2vec wrappers."""
+
+import pytest
+
+from repro.baselines import (
+    METHOD_ORDER,
+    DegreeModel,
+    EMModel,
+    EmbICModel,
+    Inf2vecLocalMethod,
+    Inf2vecMethod,
+    MFModel,
+    Node2vecModel,
+    StaticModel,
+    make_method,
+)
+from repro.core.inf2vec import Inf2vecConfig
+from repro.errors import NotFittedError, TrainingError
+
+
+class TestRegistry:
+    @pytest.mark.parametrize(
+        "name, cls",
+        [
+            ("DE", DegreeModel),
+            ("ST", StaticModel),
+            ("EM", EMModel),
+            ("Emb-IC", EmbICModel),
+            ("MF", MFModel),
+            ("Node2vec", Node2vecModel),
+            ("Inf2vec", Inf2vecMethod),
+            ("Inf2vec-L", Inf2vecLocalMethod),
+        ],
+    )
+    def test_lookup(self, name, cls):
+        assert isinstance(make_method(name), cls)
+
+    def test_case_insensitive(self):
+        assert isinstance(make_method("inf2VEC"), Inf2vecMethod)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(TrainingError, match="unknown method"):
+            make_method("GPT")
+
+    def test_kwargs_forwarded(self):
+        model = make_method("MF", dim=7)
+        assert model.dim == 7
+
+    def test_method_order_covers_paper_tables(self):
+        assert METHOD_ORDER == (
+            "DE", "ST", "EM", "Emb-IC", "MF", "Node2vec", "Inf2vec",
+        )
+
+
+class TestInf2vecWrappers:
+    def test_local_variant_forces_alpha_one(self):
+        method = Inf2vecLocalMethod(Inf2vecConfig(dim=4))
+        assert method.config.context.alpha == 1.0
+        assert method.name == "Inf2vec-L"
+
+    def test_full_variant_keeps_alpha(self):
+        method = Inf2vecMethod(Inf2vecConfig(dim=4))
+        assert method.config.context.alpha == 0.1
+
+    def test_fit_and_predict(self, small_dataset, small_splits):
+        train, _tune, _test = small_splits
+        config = Inf2vecConfig(dim=4, epochs=2)
+        method = Inf2vecMethod(config, seed=0).fit(small_dataset.graph, train)
+        predictor = method.predictor()
+        score = predictor.activation_score(0, [1])
+        assert isinstance(score, float)
+
+    def test_unfitted_predictor_raises(self):
+        with pytest.raises(NotFittedError):
+            Inf2vecMethod(Inf2vecConfig(dim=4)).predictor()
+
+    def test_repr_shows_state(self):
+        method = Inf2vecMethod(Inf2vecConfig(dim=4))
+        assert "unfitted" in repr(method)

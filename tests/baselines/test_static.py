@@ -1,0 +1,79 @@
+"""Unit tests for the ST (Goyal MLE) baseline."""
+
+import pytest
+
+from repro.baselines.static import StaticModel
+from repro.data.actionlog import ActionLog, DiffusionEpisode
+from repro.data.graph import SocialGraph
+from repro.errors import NotFittedError, TrainingError
+
+
+@pytest.fixture
+def graph() -> SocialGraph:
+    return SocialGraph(3, [(0, 1), (1, 2)])
+
+
+@pytest.fixture
+def log() -> ActionLog:
+    # Episode 0: 0 then 1 (success on edge 0->1).
+    # Episode 1: 0 adopts alone (failed trial for 0->1).
+    # Episode 2: 1 then 2 (success on edge 1->2).
+    return ActionLog(
+        [
+            DiffusionEpisode(0, [(0, 1.0), (1, 2.0)]),
+            DiffusionEpisode(1, [(0, 1.0)]),
+            DiffusionEpisode(2, [(1, 1.0), (2, 2.0)]),
+        ],
+        num_users=3,
+    )
+
+
+class TestStaticModel:
+    def test_mle_counts(self, graph, log):
+        model = StaticModel().fit(graph, log)
+        # A_{0->1} = 1, A_0 = 2  ->  P = 0.5
+        assert model.edge_probabilities().get(0, 1) == pytest.approx(0.5)
+        # A_{1->2} = 1, A_1 = 2  ->  P = 0.5
+        assert model.edge_probabilities().get(1, 2) == pytest.approx(0.5)
+
+    def test_counters_exposed(self, graph, log):
+        model = StaticModel().fit(graph, log)
+        assert model.success_count(0, 1) == 1
+        assert model.success_count(1, 2) == 1
+        assert model.trial_count(0) == 2
+        assert model.trial_count(1) == 2
+        assert model.trial_count(2) == 1
+
+    def test_unobserved_edge_zero(self, graph):
+        log = ActionLog([DiffusionEpisode(0, [(2, 1.0)])], num_users=3)
+        model = StaticModel().fit(graph, log)
+        assert model.edge_probabilities().get(0, 1) == 0.0
+
+    def test_inactive_user_zero_probability(self, graph):
+        log = ActionLog([], num_users=3)
+        model = StaticModel().fit(graph, log)
+        assert model.edge_probabilities().get(0, 1) == 0.0
+
+    def test_smoothing(self, graph, log):
+        model = StaticModel(smoothing=1.0).fit(graph, log)
+        # (1 + 1) / (2 + 2) = 0.5 for observed; (0+1)/(1+2) for unobserved
+        assert model.edge_probabilities().get(0, 1) == pytest.approx(0.5)
+
+    def test_negative_smoothing_rejected(self):
+        with pytest.raises(TrainingError):
+            StaticModel(smoothing=-1.0)
+
+    def test_probability_capped_at_one(self, graph):
+        # Same success observed more often than trials cannot happen,
+        # but the cap also protects smoothing corner cases.
+        log = ActionLog(
+            [DiffusionEpisode(0, [(0, 1.0), (1, 2.0)])], num_users=3
+        )
+        model = StaticModel().fit(graph, log)
+        assert model.edge_probabilities().get(0, 1) <= 1.0
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            StaticModel().edge_probabilities()
+        with pytest.raises(NotFittedError):
+            StaticModel().success_count(0, 1)

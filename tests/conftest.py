@@ -1,0 +1,55 @@
+"""Shared fixtures: hand-built graphs/episodes and small generated datasets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.actionlog import ActionLog, DiffusionEpisode
+from repro.data.graph import SocialGraph
+from repro.data.synthetic import SyntheticSocialDataset
+
+
+@pytest.fixture
+def tiny_graph() -> SocialGraph:
+    """The paper's Fig 5 five-user network (plus an edge for variety).
+
+    Edges (u -> v means v watches u and can be influenced by u):
+    u1=0, u2=1, u3=2, u4=3, u5=4.
+    """
+    return SocialGraph(
+        5,
+        [
+            (3, 4),  # u4 -> u5
+            (1, 2),  # u2 -> u3
+            (3, 0),  # u4 -> u1
+            (2, 0),  # u3 -> u1
+            (0, 1),  # u1 -> u2
+        ],
+    )
+
+
+@pytest.fixture
+def fig5_episode() -> DiffusionEpisode:
+    """The paper's Fig 5 episode: u4, u2, u3, u5, u1 in time order."""
+    return DiffusionEpisode(
+        0, [(3, 1.0), (1, 2.0), (2, 3.0), (4, 4.0), (0, 5.0)]
+    )
+
+
+@pytest.fixture
+def tiny_log(fig5_episode: DiffusionEpisode) -> ActionLog:
+    """A two-episode log over the Fig 5 network."""
+    second = DiffusionEpisode(1, [(0, 1.0), (1, 2.0), (2, 3.0)])
+    return ActionLog([fig5_episode, second], num_users=5)
+
+
+@pytest.fixture(scope="session")
+def small_dataset() -> SyntheticSocialDataset:
+    """A session-cached Digg-like dataset big enough to train on."""
+    return SyntheticSocialDataset.digg_like(num_users=150, num_items=60, seed=11)
+
+
+@pytest.fixture(scope="session")
+def small_splits(small_dataset: SyntheticSocialDataset):
+    """(train, tune, test) splits of the session dataset."""
+    return small_dataset.log.split((0.8, 0.1, 0.1), seed=11)

@@ -1,0 +1,51 @@
+"""Unit tests for the Eq. 7 aggregation functions."""
+
+import numpy as np
+import pytest
+
+from repro.core.aggregation import AGGREGATORS, ave, get_aggregator, latest, maximum, total
+from repro.errors import EvaluationError
+
+
+class TestAggregators:
+    SCORES = np.array([1.0, -2.0, 4.0])
+
+    def test_ave(self):
+        assert ave(self.SCORES) == pytest.approx(1.0)
+
+    def test_sum(self):
+        assert total(self.SCORES) == pytest.approx(3.0)
+
+    def test_max(self):
+        assert maximum(self.SCORES) == pytest.approx(4.0)
+
+    def test_latest_takes_last(self):
+        assert latest(self.SCORES) == pytest.approx(4.0)
+        assert latest(np.array([5.0, 1.0])) == pytest.approx(1.0)
+
+    def test_single_element_all_agree(self):
+        for aggregator in AGGREGATORS.values():
+            assert aggregator(np.array([2.5])) == pytest.approx(2.5)
+
+    @pytest.mark.parametrize("name", ["ave", "sum", "max", "latest"])
+    def test_empty_rejected(self, name):
+        with pytest.raises(EvaluationError, match="empty"):
+            AGGREGATORS[name](np.array([]))
+
+    @pytest.mark.parametrize("name", ["ave", "sum", "max", "latest"])
+    def test_multidimensional_rejected(self, name):
+        with pytest.raises(EvaluationError, match="1-D"):
+            AGGREGATORS[name](np.zeros((2, 2)))
+
+
+class TestLookup:
+    def test_case_insensitive(self):
+        assert get_aggregator("AVE") is ave
+        assert get_aggregator(" Max ") is maximum
+
+    def test_unknown_rejected(self):
+        with pytest.raises(EvaluationError, match="unknown aggregator"):
+            get_aggregator("median")
+
+    def test_registry_complete(self):
+        assert set(AGGREGATORS) == {"ave", "sum", "max", "latest"}

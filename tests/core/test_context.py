@@ -1,0 +1,175 @@
+"""Unit tests for influence-context generation (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.context import (
+    ContextConfig,
+    ContextGenerator,
+    InfluenceContext,
+    corpus_statistics,
+    generate_context,
+    generate_episode_contexts,
+    random_walk_with_restart,
+    sample_global_context,
+)
+from repro.core.propagation import PropagationNetwork
+from repro.data.actionlog import ActionLog, DiffusionEpisode
+from repro.data.graph import SocialGraph
+from repro.errors import TrainingError
+from repro.utils.rng import ensure_rng
+
+
+@pytest.fixture
+def chain_network() -> PropagationNetwork:
+    """0 -> 1 -> 2 -> 3 propagation chain."""
+    return PropagationNetwork(
+        0,
+        np.array([0, 1, 2, 3]),
+        np.array([[0, 1], [1, 2], [2, 3]]),
+    )
+
+
+class TestContextConfig:
+    def test_budget_split(self):
+        config = ContextConfig(length=50, alpha=0.1)
+        assert config.local_budget == 5
+        assert config.global_budget == 45
+
+    def test_alpha_extremes(self):
+        assert ContextConfig(length=10, alpha=1.0).global_budget == 0
+        assert ContextConfig(length=10, alpha=0.0).local_budget == 0
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ValueError):
+            ContextConfig(length=0)
+        with pytest.raises(ValueError):
+            ContextConfig(alpha=1.5)
+        with pytest.raises(ValueError):
+            ContextConfig(restart_prob=-0.1)
+
+
+class TestRandomWalk:
+    def test_budget_respected(self, chain_network):
+        rng = ensure_rng(0)
+        visited = random_walk_with_restart(chain_network, 0, 7, 0.5, rng)
+        assert len(visited) == 7
+
+    def test_only_reachable_nodes_visited(self, chain_network):
+        rng = ensure_rng(0)
+        visited = random_walk_with_restart(chain_network, 1, 20, 0.5, rng)
+        assert set(visited) <= {2, 3}
+
+    def test_start_never_recorded(self, chain_network):
+        rng = ensure_rng(0)
+        visited = random_walk_with_restart(chain_network, 0, 30, 0.5, rng)
+        assert 0 not in visited
+
+    def test_sink_returns_empty(self, chain_network):
+        rng = ensure_rng(0)
+        assert random_walk_with_restart(chain_network, 3, 10, 0.5, rng) == []
+
+    def test_zero_budget(self, chain_network):
+        rng = ensure_rng(0)
+        assert random_walk_with_restart(chain_network, 0, 0, 0.5, rng) == []
+
+    def test_high_restart_stays_near_start(self, chain_network):
+        rng = ensure_rng(7)
+        visited = random_walk_with_restart(chain_network, 0, 200, 0.95, rng)
+        # With near-certain restart, node 1 (first hop) dominates.
+        assert visited.count(1) > visited.count(3)
+
+    def test_no_restart_reaches_deep(self, chain_network):
+        rng = ensure_rng(7)
+        visited = random_walk_with_restart(chain_network, 0, 50, 0.0, rng)
+        assert 3 in visited
+
+
+class TestGlobalContext:
+    def test_samples_exclude_self(self, chain_network):
+        rng = ensure_rng(0)
+        samples = sample_global_context(chain_network, 1, 50, rng)
+        assert len(samples) == 50
+        assert 1 not in samples
+        assert set(samples) <= {0, 2, 3}
+
+    def test_single_adopter_empty(self):
+        net = PropagationNetwork(0, np.array([4]), np.empty((0, 2), dtype=np.int64))
+        rng = ensure_rng(0)
+        assert sample_global_context(net, 4, 10, rng) == []
+
+    def test_zero_budget(self, chain_network):
+        rng = ensure_rng(0)
+        assert sample_global_context(chain_network, 0, 0, rng) == []
+
+
+class TestGenerateContext:
+    def test_components_sized_by_alpha(self, chain_network):
+        rng = ensure_rng(0)
+        config = ContextConfig(length=20, alpha=0.5)
+        context = generate_context(chain_network, 0, config, rng)
+        assert len(context.local) == 10
+        assert len(context.global_) == 10
+        assert context.users == context.local + context.global_
+
+    def test_sink_user_still_gets_global(self, chain_network):
+        rng = ensure_rng(0)
+        config = ContextConfig(length=10, alpha=0.5)
+        context = generate_context(chain_network, 3, config, rng)
+        assert context.local == ()
+        assert len(context.global_) == 5
+
+    def test_episode_contexts_cover_adopters(self, chain_network):
+        rng = ensure_rng(0)
+        config = ContextConfig(length=10, alpha=0.5)
+        contexts = generate_episode_contexts(chain_network, config, rng)
+        assert {c.user for c in contexts} == {0, 1, 2, 3}
+        assert all(c.item == 0 for c in contexts)
+
+    def test_singleton_episode_produces_nothing(self):
+        net = PropagationNetwork(0, np.array([4]), np.empty((0, 2), dtype=np.int64))
+        rng = ensure_rng(0)
+        contexts = generate_episode_contexts(net, ContextConfig(length=10), rng)
+        assert contexts == []
+
+
+class TestContextGenerator:
+    def test_generates_for_all_episodes(self, tiny_graph, tiny_log):
+        generator = ContextGenerator(
+            tiny_graph, ContextConfig(length=6, alpha=0.5), seed=0
+        )
+        corpus = generator.generate(tiny_log)
+        assert len(corpus) > 0
+        assert {c.item for c in corpus} == {0, 1}
+
+    def test_deterministic_under_seed(self, tiny_graph, tiny_log):
+        config = ContextConfig(length=6, alpha=0.5)
+        a = ContextGenerator(tiny_graph, config, seed=9).generate(tiny_log)
+        b = ContextGenerator(tiny_graph, config, seed=9).generate(tiny_log)
+        assert a == b
+
+    def test_rejects_oversized_log(self, tiny_graph):
+        log = ActionLog(
+            [DiffusionEpisode(0, [(6, 1.0)])], num_users=7
+        )
+        generator = ContextGenerator(tiny_graph, seed=0)
+        with pytest.raises(TrainingError, match="graph only"):
+            generator.generate(log)
+
+
+class TestCorpusStatistics:
+    def test_empty(self):
+        stats = corpus_statistics([])
+        assert stats["num_tuples"] == 0
+        assert stats["mean_context_size"] == 0.0
+
+    def test_counts(self):
+        contexts = [
+            InfluenceContext(user=0, item=0, local=(1, 2), global_=(3,)),
+            InfluenceContext(user=1, item=0, local=(), global_=(0,)),
+        ]
+        stats = corpus_statistics(contexts)
+        assert stats["num_tuples"] == 2
+        assert stats["total_context_users"] == 4
+        assert stats["mean_context_size"] == 2.0
+        assert stats["local_fraction"] == 0.5

@@ -1,0 +1,150 @@
+"""Unit tests for incremental training and the temporal split."""
+
+import numpy as np
+import pytest
+
+from repro.core.context import ContextConfig
+from repro.core.inf2vec import Inf2vecConfig, Inf2vecModel
+from repro.data.actionlog import ActionLog, DiffusionEpisode
+from repro.data.graph import SocialGraph
+from repro.errors import ActionLogError, NotFittedError, TrainingError
+
+
+class TestPartialFit:
+    @pytest.fixture
+    def graph(self) -> SocialGraph:
+        edges = [(u, (u + 1) % 8) for u in range(8)]
+        edges += [(u, (u + 2) % 8) for u in range(8)]
+        return SocialGraph(8, edges)
+
+    @pytest.fixture
+    def logs(self):
+        early = ActionLog(
+            [
+                DiffusionEpisode(i, [(i % 8, 1.0), ((i + 1) % 8, 2.0)])
+                for i in range(10)
+            ],
+            num_users=8,
+        )
+        late = ActionLog(
+            [
+                DiffusionEpisode(100 + i, [(i % 8, 1.0), ((i + 2) % 8, 2.0)])
+                for i in range(10)
+            ],
+            num_users=8,
+        )
+        return early, late
+
+    def test_updates_parameters(self, graph, logs):
+        early, late = logs
+        config = Inf2vecConfig(
+            dim=4, epochs=3, context=ContextConfig(length=4, alpha=0.5)
+        )
+        model = Inf2vecModel(config, seed=0).fit(graph, early)
+        before = model.embedding.source.copy()
+        model.partial_fit(graph, late, epochs=2)
+        assert not np.array_equal(before, model.embedding.source)
+
+    def test_extends_loss_history(self, graph, logs):
+        early, late = logs
+        config = Inf2vecConfig(
+            dim=4, epochs=3, context=ContextConfig(length=4, alpha=0.5)
+        )
+        model = Inf2vecModel(config, seed=0).fit(graph, early)
+        history_before = len(model.loss_history)
+        model.partial_fit(graph, late, epochs=2)
+        assert len(model.loss_history) == history_before + 2
+
+    def test_learns_new_pattern(self, graph):
+        """New episodes teaching a fresh pair must raise its within-source
+        margin (raw scores carry a per-source bias that legitimately
+        shifts as b_4 calibrates, so the margin over the source's other
+        targets is the learned quantity)."""
+        early = ActionLog(
+            [DiffusionEpisode(i, [(0, 1.0), (1, 2.0)]) for i in range(15)],
+            num_users=8,
+        )
+        late = ActionLog(
+            [DiffusionEpisode(100 + i, [(4, 1.0), (6, 2.0)]) for i in range(15)],
+            num_users=8,
+        )
+        config = Inf2vecConfig(
+            dim=4,
+            epochs=10,
+            learning_rate=0.05,
+            context=ContextConfig(length=4, alpha=1.0),
+        )
+        model = Inf2vecModel(config, seed=0).fit(graph, early)
+
+        def margin() -> float:
+            row = model.embedding.scores_from(4)
+            return float(row[6] - np.median(row))
+
+        before = margin()
+        model.partial_fit(graph, late, epochs=10)
+        assert margin() > before
+
+    def test_unfitted_rejected(self, graph, logs):
+        _early, late = logs
+        model = Inf2vecModel(Inf2vecConfig(dim=4), seed=0)
+        with pytest.raises(NotFittedError):
+            model.partial_fit(graph, late)
+
+    def test_universe_mismatch_rejected(self, graph, logs):
+        early, _late = logs
+        config = Inf2vecConfig(dim=4, epochs=1)
+        model = Inf2vecModel(config, seed=0).fit(graph, early)
+        bigger = SocialGraph(20, [(0, 1)])
+        with pytest.raises(TrainingError, match="fitted"):
+            model.partial_fit(bigger, ActionLog([], num_users=20))
+
+    def test_empty_new_log_is_noop(self, graph, logs):
+        early, _late = logs
+        config = Inf2vecConfig(dim=4, epochs=2)
+        model = Inf2vecModel(config, seed=0).fit(graph, early)
+        before = model.embedding.source.copy()
+        model.partial_fit(graph, ActionLog([], num_users=8))
+        assert np.array_equal(before, model.embedding.source)
+
+
+class TestTemporalSplit:
+    @pytest.fixture
+    def log(self) -> ActionLog:
+        episodes = [
+            DiffusionEpisode(i, [(i % 5, float(10 * i)), ((i + 1) % 5, 10.0 * i + 1)])
+            for i in range(10)
+        ]
+        return ActionLog(episodes, num_users=5)
+
+    def test_partitions_chronologically(self, log):
+        train, test = log.split_temporal((0.7, 0.3))
+        assert len(train) == 7
+        assert len(test) == 3
+        latest_train = max(ep.times.max() for ep in train)
+        earliest_test = min(ep.times.min() for ep in test)
+        assert latest_train < earliest_test
+
+    def test_covers_all_episodes(self, log):
+        parts = log.split_temporal((0.5, 0.3, 0.2))
+        items = sorted(item for part in parts for item in part.items())
+        assert items == sorted(log.items())
+
+    def test_deterministic(self, log):
+        a = log.split_temporal((0.5, 0.5))
+        b = log.split_temporal((0.5, 0.5))
+        assert a[0].items() == b[0].items()
+
+    def test_empty_episodes_sort_first(self):
+        episodes = [
+            DiffusionEpisode(0, [(0, 100.0)]),
+            DiffusionEpisode(1, []),
+        ]
+        log = ActionLog(episodes, num_users=2)
+        first, _second = log.split_temporal((0.5, 0.5))
+        assert first.items() == [1]
+
+    def test_bad_fractions(self, log):
+        with pytest.raises(ActionLogError):
+            log.split_temporal((0.5, 0.4))
+        with pytest.raises(ActionLogError):
+            log.split_temporal(())

@@ -1,0 +1,234 @@
+"""Unit tests for the Inf2vec trainer, including a gradient check."""
+
+import numpy as np
+import pytest
+
+from repro.core.context import ContextConfig, InfluenceContext
+from repro.core.inf2vec import Inf2vecConfig, Inf2vecModel
+from repro.core.negative import NegativeSampler
+from repro.errors import NotFittedError, TrainingError
+from repro.utils.rng import ensure_rng
+
+
+class _FixedSampler(NegativeSampler):
+    """Sampler returning a pre-set matrix of negatives (for gradient tests)."""
+
+    def __init__(self, matrix: np.ndarray):
+        super().__init__(np.ones(int(matrix.max()) + 1))
+        self._matrix = matrix
+
+    def sample_matrix(self, rows, cols, rng):
+        assert self._matrix.shape == (rows, cols)
+        return self._matrix
+
+
+def _eq4_loss(source, target, sb, tb, u, positives, negatives):
+    """Negative Eq. 4 for one context, computed independently."""
+    def sigmoid(x):
+        return 1.0 / (1.0 + np.exp(-x))
+
+    loss = 0.0
+    for j, v in enumerate(positives):
+        z_v = source[u] @ target[v] + sb[u] + tb[v]
+        loss -= np.log(sigmoid(z_v))
+        for w in negatives[j]:
+            z_w = source[u] @ target[w] + sb[u] + tb[w]
+            loss -= np.log(sigmoid(-z_w))
+    return loss
+
+
+class TestConfig:
+    def test_defaults_match_paper(self):
+        config = Inf2vecConfig()
+        assert config.dim == 50
+        assert config.learning_rate == 0.005
+        assert config.context.length == 50
+        assert config.context.alpha == 0.1
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ValueError):
+            Inf2vecConfig(dim=0)
+        with pytest.raises(ValueError):
+            Inf2vecConfig(learning_rate=-1)
+        with pytest.raises(TrainingError):
+            Inf2vecConfig(negative_distribution="gaussian")  # type: ignore[arg-type]
+        with pytest.raises(TrainingError):
+            Inf2vecConfig(max_norm=0.0)
+        with pytest.raises(TrainingError):
+            Inf2vecConfig(convergence_tol=-0.1)
+
+
+class TestGradients:
+    def test_update_matches_finite_differences(self):
+        rng = ensure_rng(0)
+        num_users, dim = 6, 3
+        config = Inf2vecConfig(
+            dim=dim, learning_rate=1e-3, num_negatives=2, epochs=1, max_norm=None
+        )
+        model = Inf2vecModel(config, seed=0)
+        model.fit_contexts(
+            [InfluenceContext(user=0, item=0, local=(1,), global_=())],
+            num_users=num_users,
+        )
+        emb = model.embedding
+        # Give the parameters non-trivial values.
+        emb.source[:] = rng.normal(scale=0.5, size=emb.source.shape)
+        emb.target[:] = rng.normal(scale=0.5, size=emb.target.shape)
+        emb.source_bias[:] = rng.normal(scale=0.1, size=num_users)
+        emb.target_bias[:] = rng.normal(scale=0.1, size=num_users)
+
+        u = 0
+        positives = np.array([1, 2])
+        negatives = np.array([[3, 4], [5, 3]])
+        sampler = _FixedSampler(negatives)
+
+        before = (
+            emb.source.copy(),
+            emb.target.copy(),
+            emb.source_bias.copy(),
+            emb.target_bias.copy(),
+        )
+        model._update_context(u, positives, sampler, lr=config.learning_rate)
+        applied = {
+            "source": (emb.source - before[0]) / config.learning_rate,
+            "target": (emb.target - before[1]) / config.learning_rate,
+            "source_bias": (emb.source_bias - before[2]) / config.learning_rate,
+            "target_bias": (emb.target_bias - before[3]) / config.learning_rate,
+        }
+
+        # Numeric gradient of the NEGATIVE loss (we do gradient ascent
+        # on the log-likelihood).
+        eps = 1e-6
+
+        def numeric(array, setter):
+            grad = np.zeros_like(array)
+            flat = array.ravel()
+            for k in range(flat.size):
+                original = flat[k]
+                flat[k] = original + eps
+                up = _eq4_loss(*setter(), u, positives, negatives)
+                flat[k] = original - eps
+                down = _eq4_loss(*setter(), u, positives, negatives)
+                flat[k] = original
+                grad.ravel()[k] = -(up - down) / (2 * eps)
+            return grad
+
+        s, t, sb, tb = (a.copy() for a in before)
+        params = lambda: (s, t, sb, tb)  # noqa: E731
+        np.testing.assert_allclose(applied["source"], numeric(s, params), atol=1e-4)
+        np.testing.assert_allclose(applied["target"], numeric(t, params), atol=1e-4)
+        np.testing.assert_allclose(
+            applied["source_bias"], numeric(sb, params), atol=1e-4
+        )
+        np.testing.assert_allclose(
+            applied["target_bias"], numeric(tb, params), atol=1e-4
+        )
+
+    def test_biases_frozen_when_disabled(self):
+        config = Inf2vecConfig(dim=2, use_biases=False, epochs=2)
+        model = Inf2vecModel(config, seed=0)
+        corpus = [InfluenceContext(user=0, item=0, local=(1, 2), global_=(3,))]
+        model.fit_contexts(corpus, num_users=4)
+        assert np.all(model.embedding.source_bias == 0)
+        assert np.all(model.embedding.target_bias == 0)
+
+
+class TestTraining:
+    @pytest.fixture
+    def corpus(self):
+        rng = ensure_rng(3)
+        contexts = []
+        for _ in range(100):
+            user = int(rng.integers(10))
+            friends = tuple(
+                int((user + off) % 10) for off in (1, 2)
+            )
+            contexts.append(
+                InfluenceContext(user=user, item=0, local=friends, global_=())
+            )
+        return contexts
+
+    def test_loss_decreases(self, corpus):
+        config = Inf2vecConfig(dim=8, epochs=10, learning_rate=0.05)
+        model = Inf2vecModel(config, seed=0).fit_contexts(corpus, num_users=10)
+        assert model.loss_history[-1] < model.loss_history[0]
+
+    def test_learns_structure(self, corpus):
+        """Context members must outscore non-members after training."""
+        config = Inf2vecConfig(dim=8, epochs=30, learning_rate=0.05)
+        model = Inf2vecModel(config, seed=0).fit_contexts(corpus, num_users=10)
+        emb = model.embedding
+        in_context = emb.score(0, 1)
+        out_of_context = emb.score(0, 5)
+        assert in_context > out_of_context
+
+    def test_deterministic_under_seed(self, corpus):
+        config = Inf2vecConfig(dim=4, epochs=2)
+        a = Inf2vecModel(config, seed=7).fit_contexts(corpus, num_users=10)
+        b = Inf2vecModel(config, seed=7).fit_contexts(corpus, num_users=10)
+        assert np.array_equal(a.embedding.source, b.embedding.source)
+
+    def test_empty_corpus_trains_to_init(self):
+        config = Inf2vecConfig(dim=4, epochs=2)
+        model = Inf2vecModel(config, seed=0).fit_contexts([], num_users=5)
+        assert model.is_fitted
+        assert model.loss_history == [0.0, 0.0]
+
+    def test_convergence_early_stop(self, corpus):
+        config = Inf2vecConfig(dim=8, epochs=50, convergence_tol=0.5)
+        model = Inf2vecModel(config, seed=0).fit_contexts(corpus, num_users=10)
+        assert len(model.loss_history) < 50
+
+    def test_lr_decay_schedule(self):
+        config = Inf2vecConfig(learning_rate=0.1, epochs=11)
+        model = Inf2vecModel(config, seed=0)
+        assert model._epoch_learning_rate(0) == pytest.approx(0.1)
+        assert model._epoch_learning_rate(10) == pytest.approx(0.001)
+        middle = model._epoch_learning_rate(5)
+        assert 0.001 < middle < 0.1
+
+    def test_no_decay_when_disabled(self):
+        config = Inf2vecConfig(learning_rate=0.1, epochs=10, lr_decay=False)
+        model = Inf2vecModel(config, seed=0)
+        assert model._epoch_learning_rate(9) == pytest.approx(0.1)
+
+    def test_max_norm_enforced(self, corpus):
+        config = Inf2vecConfig(
+            dim=4, epochs=5, learning_rate=5.0, lr_decay=False, max_norm=1.0
+        )
+        model = Inf2vecModel(config, seed=0).fit_contexts(corpus, num_users=10)
+        norms = np.linalg.norm(model.embedding.source, axis=1)
+        assert np.all(norms <= 1.0 + 1e-9)
+
+
+class TestLifecycle:
+    def test_unfitted_access_raises(self):
+        model = Inf2vecModel(Inf2vecConfig(dim=4))
+        with pytest.raises(NotFittedError):
+            _ = model.embedding
+        with pytest.raises(NotFittedError):
+            model.train_epoch([])
+
+    def test_fit_end_to_end(self, small_dataset, small_splits):
+        train, _tune, _test = small_splits
+        config = Inf2vecConfig(
+            dim=4, epochs=2, context=ContextConfig(length=6, alpha=0.5)
+        )
+        model = Inf2vecModel(config, seed=0).fit(small_dataset.graph, train)
+        assert model.is_fitted
+        assert model.embedding.num_users == small_dataset.graph.num_nodes
+
+    def test_regenerate_contexts_mode(self, small_dataset, small_splits):
+        train, _tune, _test = small_splits
+        config = Inf2vecConfig(
+            dim=4,
+            epochs=3,
+            regenerate_contexts=True,
+            context=ContextConfig(length=6, alpha=0.5),
+        )
+        model = Inf2vecModel(config, seed=0).fit(small_dataset.graph, train)
+        assert len(model.loss_history) == 3
+
+    def test_repr(self):
+        model = Inf2vecModel(Inf2vecConfig(dim=4))
+        assert "unfitted" in repr(model)

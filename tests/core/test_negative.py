@@ -1,0 +1,89 @@
+"""Unit tests for the negative sampler."""
+
+import numpy as np
+import pytest
+
+from repro.core.negative import UNIGRAM_DISTORTION, NegativeSampler
+from repro.errors import TrainingError
+from repro.utils.rng import ensure_rng
+
+
+class TestConstruction:
+    def test_uniform_probabilities(self):
+        sampler = NegativeSampler.uniform(4)
+        assert sampler.probabilities().tolist() == pytest.approx([0.25] * 4)
+
+    def test_from_frequencies_distortion(self):
+        sampler = NegativeSampler.from_frequencies(
+            np.array([0.0, 15.0]), distortion=UNIGRAM_DISTORTION, smoothing=1.0
+        )
+        probs = sampler.probabilities()
+        expected = np.array([1.0, 16.0]) ** 0.75
+        expected /= expected.sum()
+        assert probs.tolist() == pytest.approx(expected.tolist())
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(TrainingError):
+            NegativeSampler(np.array([1.0, -1.0]))
+
+    def test_all_zero_rejected(self):
+        with pytest.raises(TrainingError, match="positive"):
+            NegativeSampler(np.zeros(3))
+
+    def test_empty_rejected(self):
+        with pytest.raises(TrainingError):
+            NegativeSampler(np.empty(0))
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(TrainingError):
+            NegativeSampler(np.array([1.0, np.inf]))
+
+    def test_negative_frequencies_rejected(self):
+        with pytest.raises(TrainingError):
+            NegativeSampler.from_frequencies(np.array([-1.0, 2.0]))
+
+
+class TestSampling:
+    def test_sample_shape_and_range(self):
+        sampler = NegativeSampler.uniform(10)
+        rng = ensure_rng(0)
+        draws = sampler.sample(1000, rng)
+        assert draws.shape == (1000,)
+        assert draws.min() >= 0
+        assert draws.max() < 10
+
+    def test_sample_matrix(self):
+        sampler = NegativeSampler.uniform(5)
+        rng = ensure_rng(0)
+        matrix = sampler.sample_matrix(7, 3, rng)
+        assert matrix.shape == (7, 3)
+
+    def test_zero_count(self):
+        sampler = NegativeSampler.uniform(5)
+        rng = ensure_rng(0)
+        assert sampler.sample(0, rng).shape == (0,)
+
+    def test_negative_count_rejected(self):
+        sampler = NegativeSampler.uniform(5)
+        with pytest.raises(TrainingError):
+            sampler.sample(-1, ensure_rng(0))
+
+    def test_zero_weight_user_never_drawn(self):
+        sampler = NegativeSampler(np.array([0.0, 1.0, 1.0]))
+        rng = ensure_rng(0)
+        draws = sampler.sample(2000, rng)
+        assert 0 not in draws
+
+    def test_empirical_distribution_matches(self):
+        weights = np.array([1.0, 3.0])
+        sampler = NegativeSampler(weights)
+        rng = ensure_rng(42)
+        draws = sampler.sample(20000, rng)
+        fraction_of_ones = float(np.mean(draws == 1))
+        assert fraction_of_ones == pytest.approx(0.75, abs=0.02)
+
+    def test_deterministic_under_seed(self):
+        sampler = NegativeSampler.uniform(100)
+        a = sampler.sample(50, ensure_rng(5))
+        b = sampler.sample(50, ensure_rng(5))
+        assert np.array_equal(a, b)

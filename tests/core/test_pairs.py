@@ -1,0 +1,99 @@
+"""Unit tests for influence-pair extraction (Definition 1, Fig 5)."""
+
+import numpy as np
+import pytest
+
+from repro.core.pairs import (
+    extract_all_pairs,
+    extract_episode_pairs,
+    frequency_histogram,
+    pair_frequencies,
+)
+from repro.data.actionlog import ActionLog, DiffusionEpisode
+from repro.data.graph import SocialGraph
+
+
+class TestFig5Example:
+    """The paper's worked example must come out exactly."""
+
+    def test_extracts_paper_pairs(self, tiny_graph, fig5_episode):
+        pairs = {tuple(p) for p in extract_episode_pairs(tiny_graph, fig5_episode)}
+        # Paper: {(u4->u5), (u2->u3), (u4->u1), (u3->u1)}
+        assert pairs == {(3, 4), (1, 2), (3, 0), (2, 0)}
+
+    def test_u1_to_u2_not_extracted(self, tiny_graph, fig5_episode):
+        # The edge u1 -> u2 exists but u1 adopted AFTER u2.
+        pairs = {tuple(p) for p in extract_episode_pairs(tiny_graph, fig5_episode)}
+        assert (0, 1) not in pairs
+
+
+class TestExtraction:
+    def test_requires_edge(self):
+        graph = SocialGraph(3, [(0, 1)])
+        episode = DiffusionEpisode(0, [(0, 1.0), (2, 2.0)])
+        assert extract_episode_pairs(graph, episode).shape == (0, 2)
+
+    def test_requires_strict_time_order(self):
+        graph = SocialGraph(2, [(0, 1), (1, 0)])
+        episode = DiffusionEpisode(0, [(0, 1.0), (1, 1.0)])  # simultaneous
+        assert extract_episode_pairs(graph, episode).shape == (0, 2)
+
+    def test_direction_follows_edge(self):
+        graph = SocialGraph(2, [(0, 1)])
+        forward = DiffusionEpisode(0, [(0, 1.0), (1, 2.0)])
+        backward = DiffusionEpisode(1, [(1, 1.0), (0, 2.0)])
+        assert [tuple(p) for p in extract_episode_pairs(graph, forward)] == [(0, 1)]
+        # 1 adopted first but the edge (1, 0) does not exist.
+        assert extract_episode_pairs(graph, backward).shape == (0, 2)
+
+    def test_empty_episode(self, tiny_graph):
+        episode = DiffusionEpisode(0, [])
+        assert extract_episode_pairs(tiny_graph, episode).shape == (0, 2)
+
+    def test_all_pairs_carry_items(self, tiny_graph, tiny_log):
+        pairs = extract_all_pairs(tiny_graph, tiny_log)
+        items = {p.item for p in pairs}
+        assert items <= {0, 1}
+        assert all(tiny_graph.has_edge(p.source, p.target) for p in pairs)
+
+
+class TestFrequencies:
+    def test_counts_match_manual(self, tiny_graph, tiny_log):
+        freqs = pair_frequencies(tiny_graph, tiny_log)
+        # Episode 0 pairs: (3,4),(1,2),(3,0),(2,0); episode 1: 0,1,2 in
+        # order -> (0,1) edge exists, (1,2) edge exists -> pairs (0,1),(1,2).
+        assert freqs.total_pairs == 6
+        assert freqs.source_counts.tolist() == [1, 2, 1, 2, 0]
+        assert freqs.target_counts.tolist() == [2, 1, 2, 0, 1]
+        assert freqs.pair_counts[(1, 2)] == 2
+
+    def test_top_pairs_ranked_by_count(self, tiny_graph, tiny_log):
+        freqs = pair_frequencies(tiny_graph, tiny_log)
+        top = freqs.top_pairs(1)
+        assert top == [(1, 2)]
+
+    def test_top_pairs_bounds(self, tiny_graph, tiny_log):
+        freqs = pair_frequencies(tiny_graph, tiny_log)
+        assert len(freqs.top_pairs(100)) == len(freqs.pair_counts)
+        assert freqs.top_pairs(0) == []
+        with pytest.raises(ValueError):
+            freqs.top_pairs(-1)
+
+    def test_empty_log(self, tiny_graph):
+        log = ActionLog([], num_users=5)
+        freqs = pair_frequencies(tiny_graph, log)
+        assert freqs.total_pairs == 0
+        assert freqs.top_pairs(5) == []
+
+
+class TestHistogram:
+    def test_excludes_zeros(self):
+        assert frequency_histogram([0, 0, 1, 1, 2]) == {1: 2, 2: 1}
+
+    def test_empty(self):
+        assert frequency_histogram([]) == {}
+        assert frequency_histogram([0, 0]) == {}
+
+    def test_sorted_keys(self):
+        hist = frequency_histogram([5, 1, 5, 3])
+        assert list(hist) == [1, 3, 5]

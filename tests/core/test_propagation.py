@@ -1,0 +1,73 @@
+"""Unit tests for per-episode propagation networks (Definition 3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.propagation import PropagationNetwork, build_propagation_networks
+from repro.data.actionlog import DiffusionEpisode
+from repro.data.graph import SocialGraph
+from repro.errors import GraphError
+
+
+class TestFromEpisode:
+    def test_fig5_network(self, tiny_graph, fig5_episode):
+        net = PropagationNetwork.from_episode(tiny_graph, fig5_episode)
+        assert net.num_nodes == 5
+        assert net.num_edges == 4
+        assert {tuple(e) for e in net.edge_array()} == {
+            (3, 4),
+            (1, 2),
+            (3, 0),
+            (2, 0),
+        }
+
+    def test_successors_and_predecessors(self, tiny_graph, fig5_episode):
+        net = PropagationNetwork.from_episode(tiny_graph, fig5_episode)
+        assert sorted(net.successors(3).tolist()) == [0, 4]
+        assert net.predecessors(0) == [3, 2] or sorted(net.predecessors(0)) == [2, 3]
+        assert net.successors(4).tolist() == []
+        assert net.out_degree(3) == 2
+        assert net.out_degree(4) == 0
+
+    def test_roots(self, tiny_graph, fig5_episode):
+        net = PropagationNetwork.from_episode(tiny_graph, fig5_episode)
+        # u4 (3) and u2 (1) have no influencing predecessor.
+        assert sorted(net.roots()) == [1, 3]
+
+    def test_isolated_adopters_kept_in_nodes(self):
+        graph = SocialGraph(3, [(0, 1)])
+        episode = DiffusionEpisode(0, [(2, 1.0), (0, 2.0), (1, 3.0)])
+        net = PropagationNetwork.from_episode(graph, episode)
+        assert 2 in net.nodes.tolist()
+        assert net.out_degree(2) == 0
+
+    def test_is_acyclic(self, tiny_graph, fig5_episode):
+        net = PropagationNetwork.from_episode(tiny_graph, fig5_episode)
+        assert net.is_acyclic()
+
+    def test_item_preserved(self, tiny_graph, fig5_episode):
+        net = PropagationNetwork.from_episode(tiny_graph, fig5_episode)
+        assert net.item == fig5_episode.item
+
+
+class TestValidation:
+    def test_edge_endpoint_must_be_adopter(self):
+        with pytest.raises(GraphError, match="not an adopter"):
+            PropagationNetwork(
+                0, np.array([0, 1]), np.array([[0, 2]])
+            )
+
+    def test_manual_cycle_detected(self):
+        # is_acyclic() exists to catch corrupted third-party inputs.
+        net = PropagationNetwork(
+            0, np.array([0, 1]), np.array([[0, 1], [1, 0]])
+        )
+        assert not net.is_acyclic()
+
+
+class TestBuildAll:
+    def test_keyed_by_item(self, tiny_graph, tiny_log):
+        networks = build_propagation_networks(tiny_graph, tiny_log)
+        assert set(networks) == {0, 1}
+        assert networks[0].item == 0
+        assert networks[1].num_nodes == 3

@@ -1,0 +1,165 @@
+"""Unit tests for diffusion episodes and action logs."""
+
+import numpy as np
+import pytest
+
+from repro.data.actionlog import ActionLog, Adoption, DiffusionEpisode
+from repro.errors import ActionLogError
+
+
+class TestDiffusionEpisode:
+    def test_chronological_sorting(self):
+        ep = DiffusionEpisode(7, [(3, 2.0), (1, 1.0), (2, 5.0)])
+        assert ep.users.tolist() == [1, 3, 2]
+        assert ep.times.tolist() == [1.0, 2.0, 5.0]
+
+    def test_stable_tie_order(self):
+        ep = DiffusionEpisode(0, [(5, 1.0), (2, 1.0), (9, 0.5)])
+        assert ep.users.tolist() == [9, 5, 2]
+
+    def test_positions_and_times(self):
+        ep = DiffusionEpisode(1, [(4, 10.0), (2, 20.0)])
+        assert ep.position(4) == 0
+        assert ep.position(2) == 1
+        assert ep.time_of(2) == 20.0
+
+    def test_membership(self):
+        ep = DiffusionEpisode(1, [(4, 10.0)])
+        assert 4 in ep
+        assert 5 not in ep
+
+    def test_unknown_user_position_raises(self):
+        ep = DiffusionEpisode(1, [(4, 10.0)])
+        with pytest.raises(ActionLogError, match="did not adopt"):
+            ep.position(9)
+
+    def test_duplicate_user_rejected(self):
+        with pytest.raises(ActionLogError, match="more than once"):
+            DiffusionEpisode(1, [(4, 1.0), (4, 2.0)])
+
+    def test_negative_user_rejected(self):
+        with pytest.raises(ActionLogError, match=">= 0"):
+            DiffusionEpisode(1, [(-1, 1.0)])
+
+    def test_non_finite_time_rejected(self):
+        with pytest.raises(ActionLogError, match="finite"):
+            DiffusionEpisode(1, [(0, float("nan"))])
+
+    def test_empty_episode_allowed(self):
+        ep = DiffusionEpisode(1, [])
+        assert len(ep) == 0
+        assert ep.user_set() == frozenset()
+
+    def test_iteration_yields_adoptions(self):
+        ep = DiffusionEpisode(1, [(4, 1.0), (5, 2.0)])
+        records = list(ep)
+        assert records == [Adoption(4, 1.0), Adoption(5, 2.0)]
+
+    def test_prefix(self):
+        ep = DiffusionEpisode(1, [(4, 1.0), (5, 2.0), (6, 3.0)])
+        assert ep.prefix(2).tolist() == [4, 5]
+        assert ep.prefix(0).tolist() == []
+        assert ep.prefix(10).tolist() == [4, 5, 6]
+
+    def test_prefix_negative_rejected(self):
+        ep = DiffusionEpisode(1, [(4, 1.0)])
+        with pytest.raises(ActionLogError):
+            ep.prefix(-1)
+
+    def test_equality(self):
+        a = DiffusionEpisode(1, [(4, 1.0), (5, 2.0)])
+        b = DiffusionEpisode(1, [(5, 2.0), (4, 1.0)])
+        assert a == b
+
+
+class TestActionLog:
+    def test_from_tuples_groups_by_item(self):
+        log = ActionLog.from_tuples(
+            [(0, 10, 1.0), (1, 10, 2.0), (2, 11, 1.0)], num_users=3
+        )
+        assert len(log) == 2
+        assert log[10].users.tolist() == [0, 1]
+        assert log[11].users.tolist() == [2]
+
+    def test_duplicate_items_rejected(self):
+        eps = [DiffusionEpisode(1, [(0, 1.0)]), DiffusionEpisode(1, [(1, 1.0)])]
+        with pytest.raises(ActionLogError, match="distinct"):
+            ActionLog(eps, num_users=2)
+
+    def test_user_out_of_universe_rejected(self):
+        with pytest.raises(ActionLogError, match="num_users"):
+            ActionLog([DiffusionEpisode(0, [(5, 1.0)])], num_users=3)
+
+    def test_missing_item_lookup_raises(self):
+        log = ActionLog([], num_users=3)
+        with pytest.raises(ActionLogError, match="no episode"):
+            log[42]
+
+    def test_num_actions(self, tiny_log):
+        assert tiny_log.num_actions == 8
+
+    def test_to_tuples_roundtrip(self):
+        records = [(0, 10, 1.0), (1, 10, 2.0), (2, 11, 1.0)]
+        log = ActionLog.from_tuples(records, num_users=3)
+        assert sorted(log.to_tuples()) == sorted(records)
+
+    def test_active_users(self, tiny_log):
+        assert tiny_log.active_users().tolist() == [0, 1, 2, 3, 4]
+
+    def test_user_action_counts(self, tiny_log):
+        counts = tiny_log.user_action_counts()
+        assert counts.tolist() == [2, 2, 2, 1, 1]
+        assert counts.sum() == tiny_log.num_actions
+
+    def test_restrict_items(self, tiny_log):
+        restricted = tiny_log.restrict_items([1])
+        assert len(restricted) == 1
+        assert restricted[1].item == 1
+
+    def test_statistics(self, tiny_log):
+        stats = tiny_log.statistics()
+        assert stats == {"num_users": 5, "num_items": 2, "num_actions": 8}
+
+
+class TestSplit:
+    @pytest.fixture
+    def log(self) -> ActionLog:
+        episodes = [
+            DiffusionEpisode(i, [(i % 5, 1.0), ((i + 1) % 5, 2.0)])
+            for i in range(20)
+        ]
+        return ActionLog(episodes, num_users=5)
+
+    def test_split_partitions_episodes(self, log):
+        train, tune, test = log.split((0.8, 0.1, 0.1), seed=0)
+        assert len(train) + len(tune) + len(test) == len(log)
+        all_items = sorted(train.items() + tune.items() + test.items())
+        assert all_items == sorted(log.items())
+
+    def test_split_fractions_respected(self, log):
+        train, tune, test = log.split((0.8, 0.1, 0.1), seed=0)
+        assert len(train) == 16
+        assert len(tune) == 2
+        assert len(test) == 2
+
+    def test_split_deterministic_under_seed(self, log):
+        a = log.split((0.5, 0.5), seed=42)
+        b = log.split((0.5, 0.5), seed=42)
+        assert a[0].items() == b[0].items()
+
+    def test_split_varies_with_seed(self, log):
+        a = log.split((0.5, 0.5), seed=1)
+        b = log.split((0.5, 0.5), seed=2)
+        assert a[0].items() != b[0].items()
+
+    def test_bad_fractions_rejected(self, log):
+        with pytest.raises(ActionLogError):
+            log.split((0.5, 0.4))
+        with pytest.raises(ActionLogError):
+            log.split((1.2, -0.2))
+        with pytest.raises(ActionLogError):
+            log.split(())
+
+    def test_single_fraction(self, log):
+        (everything,) = log.split((1.0,), seed=0)
+        assert len(everything) == len(log)

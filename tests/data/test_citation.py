@@ -1,0 +1,90 @@
+"""Unit tests for the synthetic citation corpus."""
+
+import numpy as np
+import pytest
+
+from repro.data.citation import CitationConfig, CitationDataset
+from repro.errors import DataGenerationError
+
+
+@pytest.fixture(scope="module")
+def dataset() -> CitationDataset:
+    config = CitationConfig(num_authors=80, num_papers=100, mean_references=4.0)
+    return CitationDataset.generate(config, seed=7)
+
+
+class TestGeneration:
+    def test_paper_count(self, dataset):
+        assert len(dataset.papers) == 100
+
+    def test_references_point_backwards(self, dataset):
+        for paper in dataset.papers:
+            assert all(ref < paper.paper_id for ref in paper.references)
+
+    def test_first_paper_has_no_references(self, dataset):
+        assert dataset.papers[0].references == ()
+
+    def test_authors_valid_and_distinct(self, dataset):
+        for paper in dataset.papers:
+            assert len(set(paper.authors)) == len(paper.authors)
+            assert all(0 <= a < 80 for a in paper.authors)
+
+    def test_pairs_match_citations(self, dataset):
+        """Every pair must come from an actual citation between papers."""
+        by_time = {}
+        for pair in dataset.pairs:
+            by_time.setdefault(pair.time, []).append(pair)
+        for time, pairs in by_time.items():
+            paper = dataset.papers[time]
+            cited_authors = {
+                a for ref in paper.references for a in dataset.papers[ref].authors
+            }
+            for pair in pairs:
+                assert pair.target in paper.authors
+                assert pair.source in cited_authors
+
+    def test_no_self_influence(self, dataset):
+        assert all(p.source != p.target for p in dataset.pairs)
+
+    def test_deterministic_under_seed(self):
+        config = CitationConfig(num_authors=40, num_papers=30)
+        a = CitationDataset.generate(config, seed=3)
+        b = CitationDataset.generate(config, seed=3)
+        assert [p.references for p in a.papers] == [p.references for p in b.papers]
+
+    def test_sparse_pair_structure(self, dataset):
+        """Most author pairs should be observed only a few times."""
+        counts = np.array(list(dataset.pair_multiset().values()))
+        assert np.median(counts) <= 3
+
+    def test_productivity_heavy_tailed(self, dataset):
+        papers = dataset.papers_per_author()
+        assert papers.max() >= 3 * max(1, int(np.median(papers[papers > 0])))
+
+    def test_invalid_config(self):
+        with pytest.raises(DataGenerationError):
+            CitationConfig(mean_references=0)
+        with pytest.raises(ValueError):
+            CitationConfig(num_authors=0)
+
+
+class TestSplit:
+    def test_partition(self, dataset):
+        train, test = dataset.split(0.8, seed=0)
+        assert len(train) + len(test) == dataset.num_pairs
+        assert len(train) == int(dataset.num_pairs * 0.8)
+
+    def test_deterministic(self, dataset):
+        a_train, _ = dataset.split(0.8, seed=5)
+        b_train, _ = dataset.split(0.8, seed=5)
+        assert a_train == b_train
+
+    def test_invalid_fraction(self, dataset):
+        with pytest.raises(ValueError):
+            dataset.split(0.0)
+
+    def test_statistics(self, dataset):
+        stats = dataset.statistics()
+        assert stats["num_papers"] == 100
+        assert stats["num_pairs"] == dataset.num_pairs
+        assert stats["num_distinct_pairs"] <= stats["num_pairs"]

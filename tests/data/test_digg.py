@@ -1,0 +1,118 @@
+"""Unit tests for the Digg 2009 CSV parsers."""
+
+import pytest
+
+from repro.data.digg import load_digg, load_digg_friends, load_digg_votes
+from repro.errors import ActionLogError, GraphError
+
+FRIENDS_CSV = (
+    '"mutual","friend_date","user_id","friend_id"\n'
+    '"0","1246393243","alice","bob"\n'
+    '"1","1246393244","bob","carol"\n'
+    '"0","1246393245","alice","alice"\n'  # self-tie tolerated
+)
+
+VOTES_CSV = (
+    '"date","voter_id","story_id"\n'
+    '"100","bob","story_a"\n'
+    '"200","alice","story_a"\n'
+    '"150","carol","story_b"\n'
+    '"90","bob","story_a"\n'  # duplicate vote, earlier timestamp wins
+    '"300","ghost","story_a"\n'  # voter not in the graph
+)
+
+
+@pytest.fixture
+def files(tmp_path):
+    friends = tmp_path / "digg_friends.csv"
+    votes = tmp_path / "digg_votes.csv"
+    friends.write_text(FRIENDS_CSV)
+    votes.write_text(VOTES_CSV)
+    return friends, votes
+
+
+class TestFriends:
+    def test_influence_direction(self, files):
+        friends, _ = files
+        graph, index = load_digg_friends(friends)
+        # alice lists bob -> influence edge bob -> alice.
+        assert graph.has_edge(index.id_of("bob"), index.id_of("alice"))
+        assert not graph.has_edge(index.id_of("alice"), index.id_of("bob"))
+
+    def test_mutual_creates_both_directions(self, files):
+        friends, _ = files
+        graph, index = load_digg_friends(friends)
+        bob, carol = index.id_of("bob"), index.id_of("carol")
+        assert graph.has_edge(carol, bob)
+        assert graph.has_edge(bob, carol)
+
+    def test_self_ties_skipped(self, files):
+        friends, _ = files
+        graph, _ = load_digg_friends(friends)
+        assert graph.num_edges == 3
+
+    def test_bad_mutual_flag(self, tmp_path):
+        path = tmp_path / "f.csv"
+        path.write_text('"yes","1","a","b"\n')
+        with pytest.raises(GraphError, match="mutual"):
+            load_digg_friends(path)
+
+    def test_wrong_field_count(self, tmp_path):
+        path = tmp_path / "f.csv"
+        path.write_text('"0","1","a"\n')
+        with pytest.raises(GraphError, match="expected 4"):
+            load_digg_friends(path)
+
+
+class TestVotes:
+    def test_episodes_grouped_and_ordered(self, files):
+        friends, votes = files
+        graph, index = load_digg_friends(friends)
+        log = load_digg_votes(votes, index, num_users=graph.num_nodes)
+        assert len(log) == 2
+        story_a = log[0]
+        assert story_a.users.tolist() == [
+            index.id_of("bob"), index.id_of("alice"),
+        ]
+
+    def test_duplicate_votes_keep_earliest(self, files):
+        friends, votes = files
+        graph, index = load_digg_friends(friends)
+        log = load_digg_votes(votes, index, num_users=graph.num_nodes)
+        assert log[0].time_of(index.id_of("bob")) == 90.0
+
+    def test_unknown_voter_skipped(self, files):
+        friends, votes = files
+        graph, index = load_digg_friends(friends)
+        log = load_digg_votes(votes, index, num_users=graph.num_nodes)
+        assert "ghost" not in index
+        assert log.num_actions == 3
+
+    def test_unknown_voter_strict(self, files, tmp_path):
+        friends, _ = files
+        _, index = load_digg_friends(friends)
+        votes = tmp_path / "v.csv"
+        votes.write_text('"1","ghost","s"\n')
+        with pytest.raises(ActionLogError, match="unknown voter"):
+            load_digg_votes(votes, index, skip_unknown_users=False)
+
+    def test_bad_timestamp(self, files, tmp_path):
+        friends, _ = files
+        _, index = load_digg_friends(friends)
+        votes = tmp_path / "v.csv"
+        votes.write_text('"noon","alice","s"\n')
+        with pytest.raises(ActionLogError, match="bad timestamp"):
+            load_digg_votes(votes, index)
+
+
+class TestEndToEnd:
+    def test_load_digg_runs_pipeline(self, files):
+        friends, votes = files
+        graph, log, index = load_digg(friends, votes)
+        from repro.core.pairs import pair_frequencies
+
+        freqs = pair_frequencies(graph, log)
+        # bob voted before alice and alice watches bob: one pair.
+        assert freqs.pair_counts[
+            (index.id_of("bob"), index.id_of("alice"))
+        ] == 1

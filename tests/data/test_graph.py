@@ -1,0 +1,134 @@
+"""Unit tests for the directed social graph."""
+
+import numpy as np
+import pytest
+
+from repro.data.graph import SocialGraph
+from repro.errors import GraphError
+
+
+class TestConstruction:
+    def test_basic_counts(self):
+        g = SocialGraph(4, [(0, 1), (0, 2), (1, 2), (2, 3)])
+        assert g.num_nodes == 4
+        assert g.num_edges == 4
+
+    def test_empty_graph(self):
+        g = SocialGraph(3, [])
+        assert g.num_edges == 0
+        assert list(g.edges()) == []
+        assert g.out_degree(0) == 0
+        assert g.in_degree(2) == 0
+
+    def test_zero_node_graph(self):
+        g = SocialGraph(0, [])
+        assert g.num_nodes == 0
+        assert list(g.nodes()) == []
+
+    def test_duplicate_edges_collapse(self):
+        g = SocialGraph(3, [(0, 1), (0, 1), (1, 2)])
+        assert g.num_edges == 2
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(GraphError, match="self-loop"):
+            SocialGraph(3, [(1, 1)])
+
+    def test_out_of_range_endpoint_rejected(self):
+        with pytest.raises(GraphError, match="must lie in"):
+            SocialGraph(3, [(0, 3)])
+        with pytest.raises(GraphError, match="must lie in"):
+            SocialGraph(3, [(-1, 0)])
+
+    def test_negative_num_nodes_rejected(self):
+        with pytest.raises(GraphError):
+            SocialGraph(-1, [])
+
+    def test_malformed_edges_rejected(self):
+        with pytest.raises(GraphError):
+            SocialGraph(3, [(0, 1, 2)])  # type: ignore[list-item]
+
+    def test_from_numpy_array(self):
+        edges = np.array([[0, 1], [1, 2]], dtype=np.int64)
+        g = SocialGraph.from_edge_array(3, edges)
+        assert g.has_edge(0, 1)
+        assert g.has_edge(1, 2)
+
+
+class TestQueries:
+    @pytest.fixture
+    def graph(self) -> SocialGraph:
+        return SocialGraph(5, [(0, 1), (0, 2), (1, 2), (2, 3), (3, 0)])
+
+    def test_out_neighbors(self, graph):
+        assert sorted(graph.out_neighbors(0).tolist()) == [1, 2]
+        assert graph.out_neighbors(4).tolist() == []
+
+    def test_in_neighbors(self, graph):
+        assert sorted(graph.in_neighbors(2).tolist()) == [0, 1]
+        assert graph.in_neighbors(4).tolist() == []
+
+    def test_degrees(self, graph):
+        assert graph.out_degree(0) == 2
+        assert graph.in_degree(2) == 2
+        assert graph.out_degrees().tolist() == [2, 1, 1, 1, 0]
+        assert graph.in_degrees().tolist() == [1, 1, 2, 1, 0]
+
+    def test_has_edge_directedness(self, graph):
+        assert graph.has_edge(0, 1)
+        assert not graph.has_edge(1, 0)
+
+    def test_node_range_checked(self, graph):
+        with pytest.raises(GraphError):
+            graph.out_neighbors(5)
+        with pytest.raises(GraphError):
+            graph.has_edge(0, 99)
+
+    def test_edges_iteration_matches_edge_array(self, graph):
+        from_iter = list(graph.edges())
+        from_array = [tuple(e) for e in graph.edge_array()]
+        assert from_iter == from_array
+
+    def test_edge_count_consistency(self, graph):
+        assert graph.out_degrees().sum() == graph.num_edges
+        assert graph.in_degrees().sum() == graph.num_edges
+
+
+class TestDerivedGraphs:
+    def test_reverse_flips_edges(self):
+        g = SocialGraph(3, [(0, 1), (1, 2)])
+        r = g.reverse()
+        assert r.has_edge(1, 0)
+        assert r.has_edge(2, 1)
+        assert not r.has_edge(0, 1)
+        assert r.num_edges == g.num_edges
+
+    def test_double_reverse_is_identity(self):
+        g = SocialGraph(4, [(0, 1), (0, 2), (1, 3), (3, 2)])
+        assert g.reverse().reverse() == g
+
+    def test_subgraph_edges(self):
+        g = SocialGraph(5, [(0, 1), (1, 2), (2, 3), (3, 4)])
+        sub = g.subgraph_edges([0, 1, 2])
+        assert [tuple(e) for e in sub] == [(0, 1), (1, 2)]
+
+    def test_subgraph_empty_when_no_internal_edges(self):
+        g = SocialGraph(4, [(0, 1), (2, 3)])
+        assert g.subgraph_edges([0, 2]).shape == (0, 2)
+
+
+class TestEquality:
+    def test_equal_graphs(self):
+        a = SocialGraph(3, [(0, 1), (1, 2)])
+        b = SocialGraph(3, [(1, 2), (0, 1)])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_unequal_graphs(self):
+        a = SocialGraph(3, [(0, 1)])
+        b = SocialGraph(3, [(1, 0)])
+        assert a != b
+
+    def test_repr(self):
+        g = SocialGraph(3, [(0, 1)])
+        assert "num_nodes=3" in repr(g)
+        assert "num_edges=1" in repr(g)

@@ -1,0 +1,155 @@
+"""Unit tests for the on-disk format loaders."""
+
+import pytest
+
+from repro.data.loaders import (
+    UserIndex,
+    load_action_log,
+    load_dataset,
+    load_edge_list,
+    write_action_log,
+    write_edge_list,
+)
+from repro.errors import ActionLogError, GraphError
+
+
+class TestUserIndex:
+    def test_intern_is_idempotent(self):
+        index = UserIndex()
+        assert index.intern("alice") == 0
+        assert index.intern("bob") == 1
+        assert index.intern("alice") == 0
+        assert len(index) == 2
+
+    def test_lookup_roundtrip(self):
+        index = UserIndex()
+        index.intern("alice")
+        assert index.id_of("alice") == 0
+        assert index.name_of(0) == "alice"
+        assert "alice" in index
+
+    def test_unknown_lookups_raise(self):
+        index = UserIndex()
+        with pytest.raises(GraphError):
+            index.id_of("ghost")
+        with pytest.raises(GraphError):
+            index.name_of(3)
+
+
+class TestEdgeList:
+    def test_parse_whitespace_and_comments(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("# a comment\nalice bob\n\nbob carol\n")
+        graph, index = load_edge_list(path)
+        assert graph.num_nodes == 3
+        assert graph.has_edge(index.id_of("alice"), index.id_of("bob"))
+
+    def test_parse_comma_separated(self, tmp_path):
+        path = tmp_path / "edges.csv"
+        path.write_text("alice,bob\n")
+        graph, _ = load_edge_list(path)
+        assert graph.num_edges == 1
+
+    def test_self_loops_tolerated(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("alice alice\nalice bob\n")
+        graph, _ = load_edge_list(path)
+        assert graph.num_edges == 1
+
+    def test_malformed_line_rejected(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("alice bob carol\n")
+        with pytest.raises(GraphError, match="expected 2 fields"):
+            load_edge_list(path)
+
+    def test_num_users_override(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("alice bob\n")
+        graph, _ = load_edge_list(path, num_users=10)
+        assert graph.num_nodes == 10
+
+    def test_num_users_too_small_rejected(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("alice bob\ncarol dave\n")
+        with pytest.raises(GraphError, match="references"):
+            load_edge_list(path, num_users=2)
+
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("alice bob\nbob carol\n")
+        graph, index = load_edge_list(path)
+        out = tmp_path / "out.txt"
+        write_edge_list(graph, out, index)
+        graph2, index2 = load_edge_list(out)
+        assert graph2.num_edges == graph.num_edges
+
+
+class TestActionLog:
+    @pytest.fixture
+    def index(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("alice bob\nbob carol\n")
+        _, index = load_edge_list(path)
+        return index
+
+    def test_parse_votes(self, tmp_path, index):
+        path = tmp_path / "votes.txt"
+        path.write_text("alice story1 100\nbob story1 200\ncarol story2 50\n")
+        log = load_action_log(path, index)
+        assert len(log) == 2
+        assert log.num_actions == 3
+
+    def test_unknown_user_skipped_by_default(self, tmp_path, index):
+        path = tmp_path / "votes.txt"
+        path.write_text("ghost story1 100\nalice story1 200\n")
+        log = load_action_log(path, index)
+        assert log.num_actions == 1
+
+    def test_unknown_user_strict_mode(self, tmp_path, index):
+        path = tmp_path / "votes.txt"
+        path.write_text("ghost story1 100\n")
+        with pytest.raises(ActionLogError, match="unknown user"):
+            load_action_log(path, index, skip_unknown_users=False)
+
+    def test_duplicate_votes_keep_earliest(self, tmp_path, index):
+        path = tmp_path / "votes.txt"
+        path.write_text("alice story1 300\nalice story1 100\n")
+        log = load_action_log(path, index)
+        episode = log.episodes[0]
+        assert len(episode) == 1
+        assert episode.times[0] == 100.0
+
+    def test_bad_timestamp_rejected(self, tmp_path, index):
+        path = tmp_path / "votes.txt"
+        path.write_text("alice story1 noon\n")
+        with pytest.raises(ActionLogError, match="bad timestamp"):
+            load_action_log(path, index)
+
+    def test_malformed_line_rejected(self, tmp_path, index):
+        path = tmp_path / "votes.txt"
+        path.write_text("alice story1\n")
+        with pytest.raises(ActionLogError, match="expected 3 fields"):
+            load_action_log(path, index)
+
+    def test_roundtrip(self, tmp_path, index):
+        path = tmp_path / "votes.txt"
+        path.write_text("alice story1 100\nbob story1 200\n")
+        log = load_action_log(path, index)
+        out = tmp_path / "out.txt"
+        write_action_log(log, out, index)
+        log2 = load_action_log(out, index)
+        assert log2.num_actions == log.num_actions
+
+
+class TestLoadDataset:
+    def test_end_to_end(self, tmp_path):
+        (tmp_path / "edges.txt").write_text("alice bob\nbob carol\n")
+        (tmp_path / "votes.txt").write_text(
+            "alice item1 1\nbob item1 2\ncarol item1 3\n"
+        )
+        graph, log, index = load_dataset(
+            tmp_path / "edges.txt", tmp_path / "votes.txt"
+        )
+        assert graph.num_nodes == 3
+        assert log.num_users == 3
+        assert log.num_actions == 3

@@ -1,0 +1,68 @@
+"""Unit tests for whole-dataset persistence."""
+
+import numpy as np
+import pytest
+
+from repro.data.serialization import load_dataset, save_dataset
+from repro.data.synthetic import SyntheticSocialDataset
+from repro.errors import DataGenerationError
+
+
+@pytest.fixture(scope="module")
+def dataset() -> SyntheticSocialDataset:
+    return SyntheticSocialDataset.digg_like(num_users=80, num_items=15, seed=3)
+
+
+class TestRoundtrip:
+    def test_graph_preserved(self, dataset, tmp_path):
+        path = tmp_path / "data.npz"
+        save_dataset(dataset, path)
+        loaded = load_dataset(path)
+        assert loaded.graph == dataset.graph
+
+    def test_log_preserved(self, dataset, tmp_path):
+        path = tmp_path / "data.npz"
+        save_dataset(dataset, path)
+        loaded = load_dataset(path)
+        assert sorted(loaded.log.to_tuples()) == sorted(dataset.log.to_tuples())
+
+    def test_planted_truth_preserved(self, dataset, tmp_path):
+        path = tmp_path / "data.npz"
+        save_dataset(dataset, path)
+        loaded = load_dataset(path)
+        np.testing.assert_array_equal(
+            loaded.planted.influence_ability, dataset.planted.influence_ability
+        )
+        np.testing.assert_array_equal(
+            loaded.planted.edge_probabilities.values,
+            dataset.planted.edge_probabilities.values,
+        )
+        np.testing.assert_array_equal(
+            loaded.planted.user_interests, dataset.planted.user_interests
+        )
+
+    def test_name_preserved(self, dataset, tmp_path):
+        path = tmp_path / "data.npz"
+        save_dataset(dataset, path)
+        assert load_dataset(path).name == "digg-like"
+
+    def test_loaded_dataset_runs_pipeline(self, dataset, tmp_path):
+        path = tmp_path / "data.npz"
+        save_dataset(dataset, path)
+        loaded = load_dataset(path)
+        from repro.eval.stats import spontaneous_share
+
+        assert spontaneous_share(loaded.graph, loaded.log) == pytest.approx(
+            spontaneous_share(dataset.graph, dataset.log)
+        )
+
+    def test_version_check(self, dataset, tmp_path):
+        path = tmp_path / "data.npz"
+        save_dataset(dataset, path)
+        # Corrupt the version tag.
+        with np.load(path) as data:
+            payload = {key: data[key] for key in data.files}
+        payload["format_version"] = np.int64(99)
+        np.savez_compressed(path, **payload)
+        with pytest.raises(DataGenerationError, match="version"):
+            load_dataset(path)

@@ -1,0 +1,185 @@
+"""Unit tests for the synthetic dataset generator."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import (
+    CascadeConfig,
+    GraphConfig,
+    SyntheticSocialDataset,
+    generate_power_law_graph,
+    plant_influence,
+    simulate_episode,
+)
+from repro.errors import DataGenerationError
+from repro.eval.stats import spontaneous_share
+from repro.utils.rng import ensure_rng
+
+
+class TestGraphGeneration:
+    def test_shape_and_connectivity(self):
+        config = GraphConfig(num_users=100, out_edges_per_node=3, in_edges_per_node=3)
+        graph = generate_power_law_graph(config, seed=0)
+        assert graph.num_nodes == 100
+        assert graph.num_edges > 100  # well above a tree
+        # No isolated late nodes: every non-core node attaches.
+        degrees = graph.out_degrees() + graph.in_degrees()
+        assert np.all(degrees[GraphConfig().seed_core :] > 0)
+
+    def test_heavy_tail(self):
+        config = GraphConfig(num_users=500)
+        graph = generate_power_law_graph(config, seed=0)
+        in_degrees = graph.in_degrees()
+        # Preferential attachment: max degree far above the median.
+        assert in_degrees.max() > 4 * np.median(in_degrees)
+
+    def test_deterministic_under_seed(self):
+        config = GraphConfig(num_users=80)
+        a = generate_power_law_graph(config, seed=5)
+        b = generate_power_law_graph(config, seed=5)
+        assert a == b
+
+    def test_homophily_groups_similar_users(self):
+        rng = ensure_rng(0)
+        # Two orthogonal interest clusters.
+        interests = np.zeros((100, 2))
+        interests[:50, 0] = 1.0
+        interests[50:, 1] = 1.0
+        interests += 0.01 * rng.normal(size=interests.shape)
+        config = GraphConfig(
+            num_users=100, out_edges_per_node=3, in_edges_per_node=3,
+            homophily=4.0, reciprocity=0.0,
+        )
+        graph = generate_power_law_graph(config, seed=0, interests=interests)
+        same = sum(
+            1 for u, v in graph.edges() if (u < 50) == (v < 50)
+        )
+        assert same / graph.num_edges > 0.7
+
+    def test_interest_shape_checked(self):
+        config = GraphConfig(num_users=10)
+        with pytest.raises(DataGenerationError, match="rows"):
+            generate_power_law_graph(config, seed=0, interests=np.zeros((5, 2)))
+
+    def test_invalid_config(self):
+        with pytest.raises(DataGenerationError):
+            GraphConfig(num_users=4, seed_core=8)
+        with pytest.raises(DataGenerationError):
+            GraphConfig(homophily=-1.0)
+        with pytest.raises(ValueError):
+            GraphConfig(reciprocity=1.5)
+
+
+class TestPlantedInfluence:
+    def test_probabilities_follow_node_factors(self):
+        graph = generate_power_law_graph(GraphConfig(num_users=60), seed=1)
+        config = CascadeConfig(num_items=5, base_probability=0.01)
+        planted = plant_influence(graph, config, ensure_rng(1))
+        edges = graph.edge_array()
+        expected = np.clip(
+            0.01
+            * planted.influence_ability[edges[:, 0]]
+            * planted.conformity[edges[:, 1]],
+            0,
+            config.probability_cap,
+        )
+        np.testing.assert_allclose(planted.edge_probabilities.values, expected)
+
+    def test_factors_mean_one(self):
+        graph = generate_power_law_graph(GraphConfig(num_users=200), seed=1)
+        planted = plant_influence(graph, CascadeConfig(num_items=5), ensure_rng(1))
+        assert planted.influence_ability.mean() == pytest.approx(1.0)
+        assert planted.conformity.mean() == pytest.approx(1.0)
+
+    def test_shared_interests_used(self):
+        graph = generate_power_law_graph(GraphConfig(num_users=30), seed=1)
+        interests = np.ones((30, CascadeConfig().interest_dim))
+        planted = plant_influence(
+            graph, CascadeConfig(num_items=5), ensure_rng(1), interests=interests
+        )
+        assert planted.user_interests is interests
+
+
+class TestEpisodeSimulation:
+    def test_episode_is_chronological_and_unique(self):
+        graph = generate_power_law_graph(GraphConfig(num_users=100), seed=2)
+        config = CascadeConfig(num_items=3)
+        planted = plant_influence(graph, config, ensure_rng(2))
+        episode = simulate_episode(planted, 0, config, ensure_rng(3))
+        assert len(set(episode.users.tolist())) == len(episode)
+        assert np.all(np.diff(episode.times) >= 0)
+
+    def test_max_episode_size(self):
+        graph = generate_power_law_graph(GraphConfig(num_users=100), seed=2)
+        config = CascadeConfig(num_items=3, max_episode_size=5, mean_spontaneous=20)
+        planted = plant_influence(graph, config, ensure_rng(2))
+        episode = simulate_episode(planted, 0, config, ensure_rng(3))
+        assert len(episode) <= 5
+
+
+class TestLTCascades:
+    def test_lt_episode_valid(self):
+        from repro.data.synthetic import simulate_episode_lt
+
+        graph = generate_power_law_graph(GraphConfig(num_users=100), seed=2)
+        config = CascadeConfig(num_items=3, spread_model="lt")
+        planted = plant_influence(graph, config, ensure_rng(2))
+        episode = simulate_episode_lt(planted, 0, config, ensure_rng(3))
+        assert len(set(episode.users.tolist())) == len(episode)
+        assert np.all(np.diff(episode.times) >= 0)
+
+    def test_lt_dataset_generation(self):
+        data = SyntheticSocialDataset.digg_like(
+            num_users=100, num_items=10, seed=4, spread_model="lt"
+        )
+        assert data.log.num_actions > 0
+
+    def test_lt_respects_cap(self):
+        from repro.data.synthetic import simulate_episode_lt
+
+        graph = generate_power_law_graph(GraphConfig(num_users=100), seed=2)
+        config = CascadeConfig(
+            num_items=3, spread_model="lt", max_episode_size=5,
+            mean_spontaneous=20, lt_saturation=0.9,
+        )
+        planted = plant_influence(graph, config, ensure_rng(2))
+        episode = simulate_episode_lt(planted, 0, config, ensure_rng(3))
+        assert len(episode) <= 5
+
+    def test_invalid_spread_model(self):
+        with pytest.raises(DataGenerationError, match="spread_model"):
+            CascadeConfig(spread_model="sir")
+
+
+class TestPresets:
+    def test_digg_preset_statistics(self, small_dataset):
+        stats = small_dataset.statistics()
+        assert stats["num_users"] == 150
+        assert stats["num_items"] <= 60
+        assert stats["num_actions"] > stats["num_items"]
+
+    def test_flickr_denser_than_digg(self):
+        digg = SyntheticSocialDataset.digg_like(num_users=200, num_items=10, seed=4)
+        flickr = SyntheticSocialDataset.flickr_like(
+            num_users=200, num_items=10, seed=4
+        )
+        assert flickr.graph.num_edges > digg.graph.num_edges
+
+    def test_spontaneous_share_contrast(self):
+        """Digg-like must be markedly more spontaneous than Flickr-like."""
+        digg = SyntheticSocialDataset.digg_like(num_users=400, num_items=60, seed=5)
+        flickr = SyntheticSocialDataset.flickr_like(
+            num_users=400, num_items=60, seed=5
+        )
+        digg_share = spontaneous_share(digg.graph, digg.log)
+        flickr_share = spontaneous_share(flickr.graph, flickr.log)
+        assert digg_share > flickr_share + 0.1
+
+    def test_cascade_overrides_forwarded(self):
+        data = SyntheticSocialDataset.digg_like(
+            num_users=100, num_items=5, seed=0, max_episode_size=4
+        )
+        assert all(len(ep) <= 4 for ep in data.log)
+
+    def test_repr(self, small_dataset):
+        assert "digg-like" in repr(small_dataset)

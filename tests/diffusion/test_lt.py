@@ -1,0 +1,78 @@
+"""Unit tests for the Linear Threshold simulator."""
+
+import numpy as np
+import pytest
+
+from repro.data.graph import SocialGraph
+from repro.diffusion.lt import simulate_lt, uniform_lt_weights
+from repro.diffusion.probabilities import EdgeProbabilities
+from repro.errors import GraphError
+
+
+class TestWeights:
+    def test_uniform_weights_sum_to_one(self):
+        graph = SocialGraph(4, [(0, 2), (1, 2), (2, 3)])
+        weights = uniform_lt_weights(graph)
+        assert weights.get(0, 2) == pytest.approx(0.5)
+        assert weights.get(1, 2) == pytest.approx(0.5)
+        assert weights.get(2, 3) == pytest.approx(1.0)
+
+    def test_overweight_rejected(self):
+        graph = SocialGraph(3, [(0, 2), (1, 2)])
+        weights = EdgeProbabilities.constant(graph, 0.8)  # sums to 1.6 into 2
+        with pytest.raises(GraphError, match="sum to"):
+            simulate_lt(weights, [0], seed=0)
+
+
+class TestSimulation:
+    def test_threshold_crossing_activates(self):
+        graph = SocialGraph(3, [(0, 2), (1, 2)])
+        weights = EdgeProbabilities.constant(graph, 0.5)
+        thresholds = np.array([0.9, 0.9, 0.75])
+        # One active in-neighbour gives pressure 0.5 < 0.75: inactive.
+        result = simulate_lt(weights, [0], thresholds=thresholds)
+        assert result.activated.tolist() == [0]
+        # Two active in-neighbours give pressure 1.0 >= 0.75: active.
+        result = simulate_lt(weights, [0, 1], thresholds=thresholds)
+        assert sorted(result.activated.tolist()) == [0, 1, 2]
+
+    def test_cascade_depth(self):
+        graph = SocialGraph(3, [(0, 1), (1, 2)])
+        weights = uniform_lt_weights(graph)
+        thresholds = np.array([0.5, 0.5, 0.5])
+        result = simulate_lt(weights, [0], thresholds=thresholds)
+        assert result.activated.tolist() == [0, 1, 2]
+        assert result.activation_round.tolist() == [0, 1, 2]
+
+    def test_max_rounds(self):
+        graph = SocialGraph(3, [(0, 1), (1, 2)])
+        weights = uniform_lt_weights(graph)
+        thresholds = np.array([0.5, 0.5, 0.5])
+        result = simulate_lt(weights, [0], thresholds=thresholds, max_rounds=1)
+        assert result.activated.tolist() == [0, 1]
+
+    def test_bad_threshold_shape(self):
+        graph = SocialGraph(3, [(0, 1)])
+        weights = uniform_lt_weights(graph)
+        with pytest.raises(GraphError, match="thresholds"):
+            simulate_lt(weights, [0], thresholds=np.array([0.5]))
+
+    def test_seed_out_of_range(self):
+        graph = SocialGraph(3, [(0, 1)])
+        weights = uniform_lt_weights(graph)
+        with pytest.raises(GraphError):
+            simulate_lt(weights, [7], seed=0)
+
+    def test_random_thresholds_deterministic_seed(self):
+        graph = SocialGraph(5, [(0, 1), (1, 2), (2, 3), (3, 4)])
+        weights = uniform_lt_weights(graph)
+        a = simulate_lt(weights, [0], seed=3)
+        b = simulate_lt(weights, [0], seed=3)
+        assert a.activated.tolist() == b.activated.tolist()
+
+    def test_activated_set(self):
+        graph = SocialGraph(2, [(0, 1)])
+        weights = uniform_lt_weights(graph)
+        result = simulate_lt(weights, [0], thresholds=np.array([1.0, 0.5]))
+        assert result.activated_set() == frozenset({0, 1})
+        assert result.size == 2

@@ -1,0 +1,59 @@
+"""Unit tests for Monte-Carlo spread estimation."""
+
+import pytest
+
+from repro.data.graph import SocialGraph
+from repro.diffusion.montecarlo import (
+    activation_frequencies,
+    expected_spread,
+    spread_with_standard_error,
+)
+from repro.diffusion.probabilities import EdgeProbabilities
+
+
+@pytest.fixture
+def chain_probs() -> EdgeProbabilities:
+    graph = SocialGraph(3, [(0, 1), (1, 2)])
+    return EdgeProbabilities.constant(graph, 0.5)
+
+
+class TestFrequencies:
+    def test_seeds_always_active(self, chain_probs):
+        freqs = activation_frequencies(chain_probs, [0], num_runs=200, seed=0)
+        assert freqs[0] == 1.0
+
+    def test_frequencies_match_theory(self, chain_probs):
+        freqs = activation_frequencies(chain_probs, [0], num_runs=5000, seed=0)
+        assert freqs[1] == pytest.approx(0.5, abs=0.03)
+        assert freqs[2] == pytest.approx(0.25, abs=0.03)
+
+    def test_monotone_along_chain(self, chain_probs):
+        freqs = activation_frequencies(chain_probs, [0], num_runs=2000, seed=0)
+        assert freqs[0] >= freqs[1] >= freqs[2]
+
+    def test_invalid_runs(self, chain_probs):
+        with pytest.raises(ValueError):
+            activation_frequencies(chain_probs, [0], num_runs=0)
+
+
+class TestSpread:
+    def test_expected_spread_theory(self, chain_probs):
+        # E[size] = 1 + 0.5 + 0.25 = 1.75
+        spread = expected_spread(chain_probs, [0], num_runs=5000, seed=0)
+        assert spread == pytest.approx(1.75, abs=0.06)
+
+    def test_deterministic_graph_zero_error(self):
+        graph = SocialGraph(2, [(0, 1)])
+        probs = EdgeProbabilities.constant(graph, 1.0)
+        mean, stderr = spread_with_standard_error(probs, [0], num_runs=50, seed=0)
+        assert mean == 2.0
+        assert stderr == 0.0
+
+    def test_single_run_standard_error(self, chain_probs):
+        _, stderr = spread_with_standard_error(chain_probs, [0], num_runs=1, seed=0)
+        assert stderr == 0.0
+
+    def test_spread_increases_with_seeds(self, chain_probs):
+        one = expected_spread(chain_probs, [0], num_runs=1000, seed=0)
+        two = expected_spread(chain_probs, [0, 2], num_runs=1000, seed=0)
+        assert two > one

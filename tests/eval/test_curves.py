@@ -1,0 +1,90 @@
+"""Unit tests for ROC / precision-recall curves."""
+
+import numpy as np
+import pytest
+
+from repro.errors import EvaluationError
+from repro.eval.curves import curve_to_text, precision_recall_curve, roc_curve
+from repro.eval.metrics import average_precision, ranking_auc
+from repro.utils.rng import ensure_rng
+
+
+class TestRocCurve:
+    def test_perfect_classifier(self):
+        curve = roc_curve([3.0, 2.0, 1.0, 0.5], [1, 1, 0, 0])
+        assert curve.auc == pytest.approx(1.0)
+        assert curve.true_positive_rate[0] == 0.0
+        assert curve.true_positive_rate[-1] == 1.0
+        assert curve.false_positive_rate[-1] == 1.0
+
+    def test_auc_matches_ranking_metric(self):
+        rng = ensure_rng(0)
+        scores = rng.normal(size=200)
+        labels = (rng.random(200) < 0.3).astype(int)
+        if labels.sum() in (0, 200):
+            labels[0] = 1 - labels[0]
+        curve = roc_curve(scores, labels)
+        assert curve.auc == pytest.approx(ranking_auc(scores, labels), abs=1e-9)
+
+    def test_tie_handling_matches_rank_auc(self):
+        scores = [1.0, 1.0, 1.0, 0.0]
+        labels = [1, 0, 1, 0]
+        curve = roc_curve(scores, labels)
+        assert curve.auc == pytest.approx(ranking_auc(scores, labels), abs=1e-9)
+
+    def test_monotone_axes(self):
+        rng = ensure_rng(1)
+        scores = rng.normal(size=50)
+        labels = (rng.random(50) < 0.5).astype(int)
+        curve = roc_curve(scores, labels)
+        assert np.all(np.diff(curve.false_positive_rate) >= 0)
+        assert np.all(np.diff(curve.true_positive_rate) >= 0)
+
+    def test_single_class_rejected(self):
+        with pytest.raises(EvaluationError):
+            roc_curve([1.0, 2.0], [1, 1])
+
+
+class TestPrecisionRecallCurve:
+    def test_perfect_classifier(self):
+        curve = precision_recall_curve([3.0, 2.0, 1.0], [1, 1, 0])
+        assert curve.average_precision == pytest.approx(1.0)
+        assert curve.recall[-1] == 1.0
+
+    def test_ap_matches_metric_without_ties(self):
+        rng = ensure_rng(0)
+        scores = rng.permutation(100).astype(float)  # all distinct
+        labels = (rng.random(100) < 0.2).astype(int)
+        if labels.sum() == 0:
+            labels[0] = 1
+        curve = precision_recall_curve(scores, labels)
+        assert curve.average_precision == pytest.approx(
+            average_precision(scores, labels), abs=1e-9
+        )
+
+    def test_recall_monotone(self):
+        rng = ensure_rng(2)
+        scores = rng.normal(size=60)
+        labels = (rng.random(60) < 0.4).astype(int)
+        curve = precision_recall_curve(scores, labels)
+        assert np.all(np.diff(curve.recall) >= 0)
+
+    def test_single_class_rejected(self):
+        with pytest.raises(EvaluationError):
+            precision_recall_curve([1.0], [0])
+
+
+class TestAsciiCurve:
+    def test_renders(self):
+        curve = roc_curve([3.0, 2.0, 1.0, 0.5], [1, 0, 1, 0])
+        text = curve_to_text(
+            curve.false_positive_rate, curve.true_positive_rate, width=30, height=8
+        )
+        lines = text.splitlines()
+        assert len(lines) == 8
+        assert all(len(line) == 30 for line in lines)
+        assert "*" in text
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(EvaluationError):
+            curve_to_text(np.array([0.0]), np.array([0.0]))

@@ -1,0 +1,127 @@
+"""Unit tests for AUC / MAP / P@N."""
+
+import numpy as np
+import pytest
+
+from repro.errors import EvaluationError
+from repro.eval.metrics import (
+    EvaluationResult,
+    RankingEvaluator,
+    average_precision,
+    precision_at_n,
+    ranking_auc,
+)
+
+
+class TestAUC:
+    def test_perfect_ranking(self):
+        assert ranking_auc([3.0, 2.0, 1.0], [1, 1, 0]) == 1.0
+
+    def test_inverted_ranking(self):
+        assert ranking_auc([1.0, 2.0, 3.0], [1, 0, 0]) == 0.0
+
+    def test_random_ties(self):
+        assert ranking_auc([1.0, 1.0], [1, 0]) == 0.5
+
+    def test_hand_computed(self):
+        # pos scores {3, 1}; neg scores {2, 0}. Pairs won: (3>2),(3>0),(1>0)=3/4
+        auc = ranking_auc([3.0, 1.0, 2.0, 0.0], [1, 1, 0, 0])
+        assert auc == pytest.approx(0.75)
+
+    def test_single_class_nan(self):
+        assert np.isnan(ranking_auc([1.0, 2.0], [1, 1]))
+        assert np.isnan(ranking_auc([1.0, 2.0], [0, 0]))
+
+    def test_antisymmetry(self):
+        scores = [0.3, 0.9, 0.1, 0.5]
+        labels = [1, 0, 1, 0]
+        flipped = [1 - l for l in labels]
+        auc = ranking_auc(scores, labels)
+        assert ranking_auc(scores, flipped) == pytest.approx(1.0 - auc)
+
+    def test_validation(self):
+        with pytest.raises(EvaluationError, match="binary"):
+            ranking_auc([1.0], [2])
+        with pytest.raises(EvaluationError, match="shape"):
+            ranking_auc([1.0, 2.0], [1])
+        with pytest.raises(EvaluationError, match="finite"):
+            ranking_auc([np.inf], [1])
+
+
+class TestAveragePrecision:
+    def test_perfect(self):
+        assert average_precision([3.0, 2.0, 1.0], [1, 1, 0]) == 1.0
+
+    def test_hand_computed(self):
+        # Ranking: pos@1, neg@2, pos@3 -> AP = (1/1 + 2/3)/2
+        ap = average_precision([3.0, 2.0, 1.0], [1, 0, 1])
+        assert ap == pytest.approx((1.0 + 2.0 / 3.0) / 2.0)
+
+    def test_no_positives_nan(self):
+        assert np.isnan(average_precision([1.0], [0]))
+
+    def test_worst_case(self):
+        # One positive ranked last of 4.
+        ap = average_precision([4.0, 3.0, 2.0, 1.0], [0, 0, 0, 1])
+        assert ap == pytest.approx(0.25)
+
+
+class TestPrecisionAtN:
+    def test_basic(self):
+        scores = [5.0, 4.0, 3.0, 2.0, 1.0]
+        labels = [1, 0, 1, 0, 1]
+        assert precision_at_n(scores, labels, 1) == 1.0
+        assert precision_at_n(scores, labels, 2) == 0.5
+        assert precision_at_n(scores, labels, 5) == pytest.approx(0.6)
+
+    def test_fewer_items_than_n(self):
+        # Strict denominator: missing slots are misses.
+        assert precision_at_n([1.0], [1], 10) == pytest.approx(0.1)
+
+    def test_empty(self):
+        assert precision_at_n([], [], 10) == 0.0
+
+    def test_invalid_n(self):
+        with pytest.raises(EvaluationError):
+            precision_at_n([1.0], [1], 0)
+
+
+class TestRankingEvaluator:
+    def test_pools_and_averages(self):
+        ev = RankingEvaluator(precision_cutoffs=(2,))
+        ev.add_query([3.0, 1.0], [1, 0])  # AP = 1.0
+        ev.add_query([1.0, 2.0], [1, 0])  # AP = 0.5
+        result = ev.result()
+        assert result.map == pytest.approx(0.75)
+        assert result.num_queries == 2
+        assert result.num_candidates == 4
+        assert result.num_positives == 2
+        assert 0.0 <= result.auc <= 1.0
+
+    def test_query_without_positives_skipped_for_map(self):
+        ev = RankingEvaluator(precision_cutoffs=(2,))
+        ev.add_query([3.0, 1.0], [1, 0])
+        ev.add_query([1.0, 2.0], [0, 0])  # no positives
+        result = ev.result()
+        assert result.map == pytest.approx(1.0)
+        assert result.num_queries == 2
+
+    def test_empty_evaluator_raises(self):
+        with pytest.raises(EvaluationError, match="no queries"):
+            RankingEvaluator().result()
+
+    def test_empty_query_ignored(self):
+        ev = RankingEvaluator()
+        ev.add_query([], [])
+        assert ev.num_queries == 0
+
+    def test_result_row_layout(self):
+        ev = RankingEvaluator(precision_cutoffs=(10, 50, 100))
+        ev.add_query([1.0, 0.5], [1, 0])
+        row = ev.result().as_row()
+        assert list(row) == ["AUC", "MAP", "P@10", "P@50", "P@100"]
+
+    def test_str_formatting(self):
+        result = EvaluationResult(auc=0.5, map=0.25, precision_at={10: 0.1})
+        assert "AUC=0.5000" in str(result)
+        assert "P@10=0.1000" in str(result)

@@ -1,0 +1,115 @@
+"""Unit tests for the multi-run protocol and significance testing."""
+
+import numpy as np
+import pytest
+
+from repro.errors import EvaluationError
+from repro.eval.metrics import EvaluationResult
+from repro.eval.protocol import (
+    MultiRunResult,
+    format_table,
+    paired_significance,
+    repeat_evaluation,
+)
+
+
+def _result(auc: float, map_: float = 0.5) -> EvaluationResult:
+    return EvaluationResult(auc=auc, map=map_, precision_at={10: 0.1})
+
+
+class TestMultiRunResult:
+    def test_mean_and_std(self):
+        runs = MultiRunResult(runs=(_result(0.8), _result(0.9)))
+        assert runs.mean("AUC") == pytest.approx(0.85)
+        assert runs.std("AUC") == pytest.approx(np.std([0.8, 0.9], ddof=1))
+
+    def test_single_run_std_zero(self):
+        runs = MultiRunResult(runs=(_result(0.8),))
+        assert runs.std("AUC") == 0.0
+
+    def test_unknown_metric(self):
+        runs = MultiRunResult(runs=(_result(0.8),))
+        with pytest.raises(EvaluationError, match="unknown metric"):
+            runs.mean("F1")
+
+    def test_empty_rejected(self):
+        with pytest.raises(EvaluationError):
+            MultiRunResult(runs=())
+
+    def test_summary_covers_all_metrics(self):
+        runs = MultiRunResult(runs=(_result(0.8), _result(0.6)))
+        summary = runs.summary()
+        assert set(summary) == {"AUC", "MAP", "P@10"}
+        assert summary["AUC"][0] == pytest.approx(0.7)
+
+
+class TestRepeatEvaluation:
+    def test_runs_with_distinct_seeds(self):
+        seen = []
+
+        def run(seed: int) -> EvaluationResult:
+            seen.append(seed)
+            return _result(0.5)
+
+        result = repeat_evaluation(run, num_runs=5, seed=0)
+        assert len(result.runs) == 5
+        assert len(set(seen)) == 5
+
+    def test_deterministic_seed_sequence(self):
+        collect_a, collect_b = [], []
+        repeat_evaluation(lambda s: (collect_a.append(s), _result(0.5))[1], 3, seed=9)
+        repeat_evaluation(lambda s: (collect_b.append(s), _result(0.5))[1], 3, seed=9)
+        assert collect_a == collect_b
+
+    def test_invalid_num_runs(self):
+        with pytest.raises(EvaluationError):
+            repeat_evaluation(lambda s: _result(0.5), num_runs=0)
+
+
+class TestSignificance:
+    def test_clear_difference_significant(self):
+        a = MultiRunResult(runs=tuple(_result(0.9 + 0.001 * i) for i in range(5)))
+        b = MultiRunResult(runs=tuple(_result(0.5 + 0.001 * i) for i in range(5)))
+        test = paired_significance(a, b, "AUC")
+        assert test.mean_difference == pytest.approx(0.4)
+        assert test.significant(0.05)
+
+    def test_identical_runs_not_significant(self):
+        a = MultiRunResult(runs=(_result(0.5), _result(0.5)))
+        test = paired_significance(a, a, "AUC")
+        assert test.p_value == 1.0
+        assert not test.significant()
+
+    def test_constant_nonzero_difference(self):
+        a = MultiRunResult(runs=(_result(0.9), _result(0.8)))
+        b = MultiRunResult(runs=(_result(0.8), _result(0.7)))
+        test = paired_significance(a, b, "AUC")
+        assert test.p_value == 0.0
+        assert test.significant()
+
+    def test_mismatched_runs_rejected(self):
+        a = MultiRunResult(runs=(_result(0.9),))
+        b = MultiRunResult(runs=(_result(0.8), _result(0.7)))
+        with pytest.raises(EvaluationError, match="differ"):
+            paired_significance(a, b)
+
+    def test_too_few_runs_rejected(self):
+        a = MultiRunResult(runs=(_result(0.9),))
+        with pytest.raises(EvaluationError, match="at least 2"):
+            paired_significance(a, a)
+
+
+class TestFormatTable:
+    def test_contains_methods_and_metrics(self):
+        table = format_table(
+            {"ST": _result(0.86), "Inf2vec": _result(0.89)},
+            metrics=("AUC", "MAP", "P@10"),
+        )
+        assert "ST" in table
+        assert "Inf2vec" in table
+        assert "0.8900" in table
+        assert table.splitlines()[0].startswith("Method")
+
+    def test_missing_metric_rendered_as_nan(self):
+        table = format_table({"ST": _result(0.86)}, metrics=("P@50",))
+        assert "nan" in table

@@ -1,0 +1,102 @@
+"""Unit tests for power-law fitting and the active-friend CDF."""
+
+import numpy as np
+import pytest
+
+from repro.data.actionlog import ActionLog, DiffusionEpisode
+from repro.data.graph import SocialGraph
+from repro.errors import EvaluationError
+from repro.eval.stats import (
+    active_friend_cdf,
+    active_friend_counts,
+    fit_power_law,
+    power_law_r_squared,
+    spontaneous_share,
+)
+from repro.utils.rng import ensure_rng
+
+
+class TestPowerLaw:
+    def test_recovers_exponent(self):
+        rng = ensure_rng(0)
+        # The continuous-approximation MLE is accurate for x_min >= ~5
+        # (Clauset et al.); discrete data at x_min=1 biases it low.
+        samples = rng.zipf(2.5, size=100000)
+        fit = fit_power_law(samples.tolist(), x_min=5)
+        assert fit.exponent == pytest.approx(2.5, abs=0.2)
+
+    def test_straight_line_r_squared_high_for_power_law(self):
+        rng = ensure_rng(0)
+        samples = rng.zipf(2.0, size=20000)
+        assert power_law_r_squared(samples.tolist()) > 0.85
+
+    def test_r_squared_low_for_uniform(self):
+        rng = ensure_rng(0)
+        samples = rng.integers(1, 50, size=5000)
+        assert power_law_r_squared(samples.tolist()) < 0.5
+
+    def test_x_min_filters(self):
+        fit = fit_power_law([1, 1, 1, 5, 6, 7], x_min=5)
+        assert fit.num_samples == 3
+        assert fit.x_min == 5
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(EvaluationError):
+            fit_power_law([3])
+        with pytest.raises(EvaluationError):
+            fit_power_law([], x_min=1)
+
+    def test_invalid_x_min(self):
+        with pytest.raises(EvaluationError):
+            fit_power_law([1, 2, 3], x_min=0)
+
+    def test_degenerate_single_value(self):
+        assert power_law_r_squared([4, 4, 4]) == 1.0
+
+
+class TestActiveFriendCounts:
+    @pytest.fixture
+    def graph(self) -> SocialGraph:
+        return SocialGraph(4, [(0, 1), (0, 2), (1, 2), (2, 3)])
+
+    def test_counts_replay(self, graph):
+        episode = DiffusionEpisode(0, [(0, 1.0), (1, 2.0), (2, 3.0), (3, 4.0)])
+        counts = active_friend_counts(graph, episode)
+        # 0: none; 1: friend 0 active; 2: friends 0 and 1 active; 3: 2 active.
+        assert counts.tolist() == [0, 1, 2, 1]
+
+    def test_order_matters(self, graph):
+        episode = DiffusionEpisode(0, [(3, 1.0), (2, 2.0), (1, 3.0), (0, 4.0)])
+        counts = active_friend_counts(graph, episode)
+        assert counts.tolist() == [0, 0, 0, 0]
+
+    def test_cdf(self, graph):
+        episode = DiffusionEpisode(0, [(0, 1.0), (1, 2.0), (2, 3.0), (3, 4.0)])
+        log = ActionLog([episode], num_users=4)
+        cdf = active_friend_cdf(graph, log, max_count=2)
+        assert cdf[0] == pytest.approx(0.25)
+        assert cdf[1] == pytest.approx(0.75)
+        assert cdf[2] == pytest.approx(1.0)
+
+    def test_cdf_monotone(self, graph):
+        episode = DiffusionEpisode(0, [(0, 1.0), (1, 2.0), (2, 3.0)])
+        log = ActionLog([episode], num_users=4)
+        cdf = active_friend_cdf(graph, log, max_count=5)
+        values = [cdf[x] for x in sorted(cdf)]
+        assert values == sorted(values)
+        assert values[-1] == 1.0
+
+    def test_spontaneous_share(self, graph):
+        episode = DiffusionEpisode(0, [(0, 1.0), (1, 2.0)])
+        log = ActionLog([episode], num_users=4)
+        assert spontaneous_share(graph, log) == pytest.approx(0.5)
+
+    def test_empty_log_rejected(self, graph):
+        with pytest.raises(EvaluationError):
+            active_friend_cdf(graph, ActionLog([], num_users=4))
+
+    def test_negative_max_count_rejected(self, graph):
+        episode = DiffusionEpisode(0, [(0, 1.0)])
+        log = ActionLog([episode], num_users=4)
+        with pytest.raises(EvaluationError):
+            active_friend_cdf(graph, log, max_count=-1)

@@ -1,0 +1,113 @@
+"""Unit tests for tuning-split grid search."""
+
+import pytest
+
+from repro.baselines import DegreeModel, Inf2vecMethod, StaticModel
+from repro.core.context import ContextConfig
+from repro.core.inf2vec import Inf2vecConfig
+from repro.errors import EvaluationError
+from repro.eval.tuning import grid_search
+
+
+@pytest.fixture(scope="module")
+def world(small_dataset, small_splits):
+    train, tune, _test = small_splits
+    return small_dataset.graph, train, tune
+
+
+class TestGridSearch:
+    def test_covers_cartesian_product(self, world):
+        graph, train, tune = world
+        calls = []
+
+        def factory(**params):
+            calls.append(params)
+            return StaticModel(smoothing=params["smoothing"])
+
+        result = grid_search(
+            factory,
+            {"smoothing": [0.0, 1.0], "unused": ["a", "b"]},
+            graph,
+            train,
+            tune,
+            predictor_kwargs={"num_runs": 5, "seed": 0},
+        )
+        assert len(result.trials) == 4
+        assert len(calls) == 4
+
+    def test_best_params_maximise_metric(self, world):
+        graph, train, tune = world
+
+        def factory(**params):
+            # "good" trains ST; "bad" trains the degree heuristic.
+            return StaticModel() if params["kind"] == "good" else DegreeModel()
+
+        result = grid_search(
+            factory,
+            {"kind": ["bad", "good"]},
+            graph,
+            train,
+            tune,
+            metric="MAP",
+            predictor_kwargs={"num_runs": 5, "seed": 0},
+        )
+        by_kind = {t.params["kind"]: t.metric("MAP") for t in result.trials}
+        expected = max(by_kind, key=by_kind.get)
+        assert result.best_params["kind"] == expected
+
+    def test_inf2vec_alpha_tuning_runs(self, world):
+        graph, train, tune = world
+
+        def factory(**params):
+            config = Inf2vecConfig(
+                dim=4,
+                epochs=2,
+                context=ContextConfig(length=6, alpha=params["alpha"]),
+            )
+            return Inf2vecMethod(config, seed=0)
+
+        result = grid_search(
+            factory, {"alpha": [0.2, 1.0]}, graph, train, tune
+        )
+        assert result.best_params["alpha"] in (0.2, 1.0)
+        assert "alpha" in result.table()
+
+    def test_diffusion_task(self, world):
+        graph, train, tune = world
+        result = grid_search(
+            lambda **p: StaticModel(),
+            {"dummy": [1]},
+            graph,
+            train,
+            tune,
+            task="diffusion",
+            predictor_kwargs={"num_runs": 5, "seed": 0},
+        )
+        assert len(result.trials) == 1
+
+    def test_invalid_inputs(self, world):
+        graph, train, tune = world
+        with pytest.raises(EvaluationError, match="param_grid"):
+            grid_search(lambda **p: StaticModel(), {}, graph, train, tune)
+        with pytest.raises(EvaluationError, match="task"):
+            grid_search(
+                lambda **p: StaticModel(),
+                {"x": [1]},
+                graph,
+                train,
+                tune,
+                task="ranking",
+            )
+
+    def test_unknown_metric_fails_loudly(self, world):
+        graph, train, tune = world
+        with pytest.raises(KeyError):
+            grid_search(
+                lambda **p: StaticModel(),
+                {"x": [1]},
+                graph,
+                train,
+                tune,
+                metric="F1",
+                predictor_kwargs={"num_runs": 5, "seed": 0},
+            )

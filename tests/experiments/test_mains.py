@@ -1,0 +1,33 @@
+"""Smoke tests for the printable experiment mains (fast ones only).
+
+The heavyweight mains (Tables II–VI, Figs 6–9) are exercised by their
+benchmarks; these tests cover the cheap statistics mains end to end,
+including their ASCII figures.
+"""
+
+import pytest
+
+from repro.experiments import fig1_2_powerlaw, fig3_cdf, table1_stats
+
+
+class TestStatisticsMains:
+    def test_table1_main_prints_table(self, capsys):
+        table1_stats.main("small", seed=0)
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert "digg-like" in out
+        assert "flickr-like" in out
+
+    def test_fig1_2_main_prints_scatter(self, capsys):
+        fig1_2_powerlaw.main("small", seed=0)
+        out = capsys.readouterr().out
+        assert "Figures 1-2" in out
+        assert "*" in out  # the ASCII scatter
+        assert "log frequency" in out
+
+    def test_fig3_main_prints_cdf_chart(self, capsys):
+        fig3_cdf.main("small", seed=0)
+        out = capsys.readouterr().out
+        assert "Figure 3" in out
+        assert "legend:" in out
+        assert "CDF(0) measured" in out

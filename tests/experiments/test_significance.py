@@ -1,0 +1,43 @@
+"""Smoke tests for the multi-run significance experiment."""
+
+import pytest
+
+from repro.experiments import significance
+from repro.experiments.common import ExperimentScale
+
+MICRO = ExperimentScale(
+    name="micro",
+    num_users=120,
+    num_items=50,
+    dim=8,
+    context_length=8,
+    alpha=0.2,
+    learning_rate=0.02,
+    epochs=3,
+    num_negatives=3,
+    mc_runs=20,
+)
+
+
+class TestSignificanceExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return significance.run(MICRO, seed=0, num_runs=2)
+
+    def test_runs_recorded(self, result):
+        assert len(result.inf2vec.runs) == 2
+        assert len(result.baseline.runs) == 2
+        assert result.baseline_name == "MF"
+
+    def test_tests_cover_metrics(self, result):
+        assert set(result.tests) == {"AUC", "MAP"}
+        for test in result.tests.values():
+            assert 0.0 <= test.p_value <= 1.0
+
+    def test_summary_lines_formatted(self, result):
+        lines = result.summary_lines()
+        assert any("Inf2vec" in line and "σ" in line for line in lines)
+        assert any("paired t-test" in line for line in lines)
+
+    def test_sigma_non_negative(self, result):
+        assert result.inf2vec.std("AUC") >= 0.0

@@ -1,0 +1,60 @@
+"""Unit tests for the k-means substrate."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TrainingError
+from repro.extensions.clustering import kmeans
+from repro.utils.rng import ensure_rng
+
+
+class TestKMeans:
+    @pytest.fixture(scope="class")
+    def two_blobs(self) -> np.ndarray:
+        rng = ensure_rng(0)
+        a = rng.normal(loc=0.0, scale=0.2, size=(30, 3))
+        b = rng.normal(loc=5.0, scale=0.2, size=(30, 3))
+        return np.vstack([a, b])
+
+    def test_separates_blobs(self, two_blobs):
+        result = kmeans(two_blobs, 2, seed=0)
+        first_half = set(result.labels[:30].tolist())
+        second_half = set(result.labels[30:].tolist())
+        assert len(first_half) == 1
+        assert len(second_half) == 1
+        assert first_half != second_half
+
+    def test_inertia_decreases_with_more_clusters(self, two_blobs):
+        one = kmeans(two_blobs, 1, seed=0)
+        two = kmeans(two_blobs, 2, seed=0)
+        assert two.inertia < one.inertia
+
+    def test_labels_within_range(self, two_blobs):
+        result = kmeans(two_blobs, 4, seed=0)
+        assert result.labels.min() >= 0
+        assert result.labels.max() < 4
+        assert result.centroids.shape == (4, 3)
+
+    def test_deterministic_under_seed(self, two_blobs):
+        a = kmeans(two_blobs, 3, seed=7)
+        b = kmeans(two_blobs, 3, seed=7)
+        assert np.array_equal(a.labels, b.labels)
+
+    def test_k_equals_n(self):
+        points = np.arange(6, dtype=float).reshape(3, 2)
+        result = kmeans(points, 3, seed=0)
+        assert result.inertia == pytest.approx(0.0)
+        assert len(set(result.labels.tolist())) == 3
+
+    def test_duplicate_points_handled(self):
+        points = np.zeros((10, 2))
+        result = kmeans(points, 2, seed=0)
+        assert result.inertia == pytest.approx(0.0)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(TrainingError):
+            kmeans(np.zeros((2, 2)), 3)
+        with pytest.raises(TrainingError):
+            kmeans(np.zeros(5), 2)
+        with pytest.raises(ValueError):
+            kmeans(np.zeros((5, 2)), 0)

@@ -1,0 +1,111 @@
+"""Unit tests for the topic-aware Inf2vec extension."""
+
+import numpy as np
+import pytest
+
+from repro.core.context import ContextConfig
+from repro.core.inf2vec import Inf2vecConfig
+from repro.data.actionlog import ActionLog, DiffusionEpisode
+from repro.data.graph import SocialGraph
+from repro.errors import NotFittedError, TrainingError
+from repro.extensions.topic_inf2vec import (
+    TopicConfig,
+    TopicInf2vec,
+    adopter_profiles,
+)
+
+
+@pytest.fixture(scope="module")
+def topical_world():
+    """Two user communities, each adopting its own item family."""
+    edges = []
+    for u in range(10):
+        for v in range(10):
+            if u != v and (u + v) % 3 == 0:
+                edges.append((u, v))
+    for u in range(10, 20):
+        for v in range(10, 20):
+            if u != v and (u + v) % 3 == 0:
+                edges.append((u, v))
+    edges.append((0, 10))
+    graph = SocialGraph(20, edges)
+
+    rng = np.random.default_rng(0)
+    episodes = []
+    for item in range(30):
+        community = range(10) if item % 2 == 0 else range(10, 20)
+        adopters = [
+            (int(u), float(t))
+            for t, u in enumerate(rng.permutation(list(community))[:6])
+        ]
+        episodes.append(DiffusionEpisode(item, adopters))
+    return graph, ActionLog(episodes, num_users=20)
+
+
+class TestAdopterProfiles:
+    def test_profiles_shape(self, topical_world):
+        _graph, log = topical_world
+        profiles, items, projection = adopter_profiles(log, dim=4)
+        assert profiles.shape == (30, 4)
+        assert len(items) == 30
+        assert projection.shape == (20, 4)
+
+    def test_same_community_items_cluster(self, topical_world):
+        _graph, log = topical_world
+        profiles, items, _ = adopter_profiles(log, dim=4)
+        even = profiles[[i for i, item in enumerate(items) if item % 2 == 0]]
+        odd = profiles[[i for i, item in enumerate(items) if item % 2 == 1]]
+        within = np.linalg.norm(even - even.mean(axis=0), axis=1).mean()
+        between = np.linalg.norm(even.mean(axis=0) - odd.mean(axis=0))
+        assert between > within
+
+    def test_empty_log_rejected(self):
+        with pytest.raises(TrainingError):
+            adopter_profiles(ActionLog([], num_users=5), dim=2)
+
+
+class TestTopicInf2vec:
+    @pytest.fixture(scope="class")
+    def model(self, topical_world):
+        graph, log = topical_world
+        config = Inf2vecConfig(
+            dim=8, epochs=5, learning_rate=0.05,
+            context=ContextConfig(length=6, alpha=0.3),
+        )
+        return TopicInf2vec(
+            config, TopicConfig(num_topics=2, min_episodes_per_topic=3), seed=0
+        ).fit(graph, log)
+
+    def test_topics_recover_item_families(self, model):
+        even_topics = {model.topic_of(item) for item in range(0, 30, 2)}
+        odd_topics = {model.topic_of(item) for item in range(1, 30, 2)}
+        assert len(even_topics) == 1
+        assert len(odd_topics) == 1
+        assert even_topics != odd_topics
+
+    def test_topic_models_trained(self, model):
+        assert model.num_topic_models == 2
+
+    def test_unseen_item_routed_by_adopters(self, model):
+        # Adopters from the first community place the item in their topic.
+        topic = model.topic_of(999, adopters=np.array([0, 1, 2]))
+        assert topic == model.topic_of(0)
+
+    def test_unseen_item_without_adopters(self, model):
+        assert model.topic_of(999) is None
+        # Falls back to the global model without raising.
+        predictor = model.predictor_for_item(999)
+        assert predictor.activation_score(1, [0]) is not None
+
+    def test_evaluation_runs(self, model, topical_world):
+        graph, log = topical_world
+        result = model.evaluate_activation(graph, log)
+        assert 0.0 <= result.auc <= 1.0
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            TopicInf2vec().predictor_for_item(0)
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            TopicConfig(num_topics=0)

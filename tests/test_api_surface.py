@@ -1,0 +1,64 @@
+"""API-surface tests: every public export exists and is documented."""
+
+import importlib
+import inspect
+
+import pytest
+
+PUBLIC_MODULES = [
+    "repro",
+    "repro.apps",
+    "repro.baselines",
+    "repro.core",
+    "repro.data",
+    "repro.diffusion",
+    "repro.eval",
+    "repro.extensions",
+    "repro.experiments",
+    "repro.utils",
+    "repro.viz",
+]
+
+
+@pytest.mark.parametrize("module_name", PUBLIC_MODULES)
+def test_all_exports_resolve(module_name):
+    module = importlib.import_module(module_name)
+    exported = getattr(module, "__all__", [])
+    for name in exported:
+        assert hasattr(module, name), f"{module_name}.__all__ lists missing {name}"
+
+
+@pytest.mark.parametrize("module_name", PUBLIC_MODULES)
+def test_module_docstrings_present(module_name):
+    module = importlib.import_module(module_name)
+    assert module.__doc__, f"{module_name} lacks a module docstring"
+
+
+@pytest.mark.parametrize("module_name", PUBLIC_MODULES)
+def test_public_objects_documented(module_name):
+    """Every exported class and function carries a docstring."""
+    module = importlib.import_module(module_name)
+    for name in getattr(module, "__all__", []):
+        obj = getattr(module, name)
+        if inspect.isclass(obj) or inspect.isfunction(obj):
+            assert obj.__doc__, f"{module_name}.{name} lacks a docstring"
+
+
+def test_public_classes_have_documented_methods():
+    """Public methods of the flagship classes carry docstrings."""
+    from repro import Inf2vecModel, InfluenceEmbedding, SocialGraph
+    from repro.data import ActionLog
+
+    for cls in (Inf2vecModel, InfluenceEmbedding, SocialGraph, ActionLog):
+        for name, member in inspect.getmembers(cls):
+            if name.startswith("_"):
+                continue
+            if inspect.isfunction(member) or isinstance(member, property):
+                target = member.fget if isinstance(member, property) else member
+                assert target.__doc__, f"{cls.__name__}.{name} lacks a docstring"
+
+
+def test_version_is_exposed():
+    import repro
+
+    assert repro.__version__ == "1.0.0"

@@ -1,0 +1,56 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_experiment_choices_cover_registry(self):
+        parser = build_parser()
+        args = parser.parse_args(["table2"])
+        assert args.experiment == "table2"
+        assert args.scale == "small"
+        assert args.seed == 0
+
+    def test_all_is_accepted(self):
+        args = build_parser().parse_args(["all", "--scale", "medium", "--seed", "7"])
+        assert args.experiment == "all"
+        assert args.scale == "medium"
+        assert args.seed == 7
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table99"])
+
+    def test_registry_covers_all_paper_artifacts(self):
+        assert set(EXPERIMENTS) == {
+            "table1", "fig1-2", "fig3", "table2", "table3", "table4",
+            "table5", "fig6", "fig7", "fig8", "fig9", "table6", "sigma",
+        }
+
+
+class TestMain:
+    def test_list_flag(self, capsys):
+        exit_code = main(["table1", "--list"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert "fig9" in out
+
+    def test_runs_single_experiment(self, capsys, monkeypatch):
+        calls = []
+        # Replace the runner so the test stays fast.
+        monkeypatch.setitem(
+            EXPERIMENTS,
+            "table1",
+            (
+                "Table I — dataset statistics",
+                lambda scale, seed: calls.append((scale, seed)),
+            ),
+        )
+        exit_code = main(["table1", "--scale", "small", "--seed", "3"])
+        assert exit_code == 0
+        assert calls == [("small", 3)]
+        out = capsys.readouterr().out
+        assert "Table I" in out

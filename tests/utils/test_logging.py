@@ -1,0 +1,33 @@
+"""Unit tests for logging configuration."""
+
+import logging
+
+from repro.utils.logging import PACKAGE_LOGGER_NAME, configure_logging, get_logger
+
+
+class TestGetLogger:
+    def test_namespaced_under_package(self):
+        logger = get_logger("core.inf2vec")
+        assert logger.name == f"{PACKAGE_LOGGER_NAME}.core.inf2vec"
+
+    def test_already_namespaced_passthrough(self):
+        logger = get_logger(f"{PACKAGE_LOGGER_NAME}.eval")
+        assert logger.name == f"{PACKAGE_LOGGER_NAME}.eval"
+
+
+class TestConfigureLogging:
+    def test_attaches_stream_handler_once(self):
+        root = configure_logging(logging.DEBUG)
+        first = [
+            h for h in root.handlers if not isinstance(h, logging.NullHandler)
+        ]
+        configure_logging(logging.DEBUG)
+        second = [
+            h for h in root.handlers if not isinstance(h, logging.NullHandler)
+        ]
+        assert len(first) == len(second) == 1
+        assert root.level == logging.DEBUG
+
+    def test_null_handler_present_by_default(self):
+        root = logging.getLogger(PACKAGE_LOGGER_NAME)
+        assert any(isinstance(h, logging.NullHandler) for h in root.handlers)

@@ -1,0 +1,47 @@
+"""Unit tests for RNG plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import ensure_rng, spawn_rngs
+
+
+class TestEnsureRng:
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_deterministic(self):
+        a = ensure_rng(42).random(5)
+        b = ensure_rng(42).random(5)
+        assert np.array_equal(a, b)
+
+    def test_numpy_integer_accepted(self):
+        seed = np.int64(7)
+        a = ensure_rng(seed).random(3)
+        b = ensure_rng(7).random(3)
+        assert np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        rng = np.random.default_rng(0)
+        assert ensure_rng(rng) is rng
+
+    def test_invalid_type_rejected(self):
+        with pytest.raises(TypeError, match="seed must be"):
+            ensure_rng("not a seed")  # type: ignore[arg-type]
+
+
+class TestSpawn:
+    def test_spawn_count(self):
+        children = spawn_rngs(0, 3)
+        assert len(children) == 3
+
+    def test_children_independent(self):
+        a, b = spawn_rngs(0, 2)
+        assert not np.array_equal(a.random(10), b.random(10))
+
+    def test_spawn_zero(self):
+        assert spawn_rngs(0, 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)

@@ -1,0 +1,43 @@
+"""Unit tests for timing helpers."""
+
+import time
+
+from repro.utils.timer import Timer, timed
+
+
+class TestTimer:
+    def test_accumulates_intervals(self):
+        timer = Timer()
+        for _ in range(3):
+            with timer.measure():
+                time.sleep(0.001)
+        assert timer.intervals == 3
+        assert timer.elapsed >= 0.003
+        assert timer.mean >= 0.001
+
+    def test_mean_of_fresh_timer_zero(self):
+        assert Timer().mean == 0.0
+
+    def test_reset(self):
+        timer = Timer()
+        with timer.measure():
+            pass
+        timer.reset()
+        assert timer.elapsed == 0.0
+        assert timer.intervals == 0
+
+    def test_records_on_exception(self):
+        timer = Timer()
+        try:
+            with timer.measure():
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert timer.intervals == 1
+
+
+class TestTimed:
+    def test_returns_result_and_duration(self):
+        result, seconds = timed(lambda: 41 + 1)
+        assert result == 42
+        assert seconds >= 0.0

@@ -1,0 +1,95 @@
+"""Unit tests for input-validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import (
+    check_fraction,
+    check_in_range,
+    check_non_negative_int,
+    check_positive,
+    check_positive_int,
+    check_probability,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive("x", 0.5) == 0.5
+        assert check_positive("x", 3) == 3.0
+
+    def test_rejects_zero_and_negative(self):
+        with pytest.raises(ValueError):
+            check_positive("x", 0)
+        with pytest.raises(ValueError):
+            check_positive("x", -1.0)
+
+    def test_rejects_non_finite(self):
+        with pytest.raises(ValueError):
+            check_positive("x", float("inf"))
+        with pytest.raises(ValueError):
+            check_positive("x", float("nan"))
+
+    def test_rejects_non_numbers(self):
+        with pytest.raises(TypeError):
+            check_positive("x", "3")
+        with pytest.raises(TypeError):
+            check_positive("x", True)
+
+
+class TestCheckPositiveInt:
+    def test_accepts(self):
+        assert check_positive_int("n", 1) == 1
+        assert check_positive_int("n", np.int64(5)) == 5
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            check_positive_int("n", 0)
+
+    def test_rejects_float_and_bool(self):
+        with pytest.raises(TypeError):
+            check_positive_int("n", 1.0)
+        with pytest.raises(TypeError):
+            check_positive_int("n", True)
+
+
+class TestCheckNonNegativeInt:
+    def test_accepts_zero(self):
+        assert check_non_negative_int("n", 0) == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_non_negative_int("n", -1)
+
+
+class TestCheckProbability:
+    def test_bounds_inclusive(self):
+        assert check_probability("p", 0.0) == 0.0
+        assert check_probability("p", 1.0) == 1.0
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            check_probability("p", 1.0001)
+        with pytest.raises(ValueError):
+            check_probability("p", -0.1)
+
+
+class TestCheckFraction:
+    def test_excludes_zero(self):
+        with pytest.raises(ValueError):
+            check_fraction("f", 0.0)
+        assert check_fraction("f", 1.0) == 1.0
+
+
+class TestCheckInRange:
+    def test_inclusive(self):
+        assert check_in_range("x", 5, 0, 5) == 5.0
+
+    def test_exclusive(self):
+        with pytest.raises(ValueError):
+            check_in_range("x", 5, 0, 5, inclusive=False)
+        assert check_in_range("x", 4.9, 0, 5, inclusive=False) == 4.9
+
+    def test_error_mentions_bounds(self):
+        with pytest.raises(ValueError, match="\\[0, 5\\]"):
+            check_in_range("x", 6, 0, 5)

@@ -1,0 +1,70 @@
+"""Unit tests for ASCII chart rendering."""
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.viz.ascii import line_chart_text, loglog_scatter_text, sorted_series
+
+
+class TestLogLogScatter:
+    def test_renders_grid(self):
+        histogram = {1: 100, 2: 40, 4: 15, 8: 6, 16: 2, 64: 1}
+        text = loglog_scatter_text(histogram, width=50, height=12)
+        lines = text.splitlines()
+        assert len(lines) == 13  # grid + x-axis labels
+        assert "*" in text
+        assert "|" in text and "-" in text
+
+    def test_power_law_descends(self):
+        """A descending power law puts marks top-left and bottom-right."""
+        histogram = {1: 1000, 10: 100, 100: 10, 1000: 1}
+        text = loglog_scatter_text(histogram, width=40, height=10)
+        lines = text.splitlines()[:-1]
+        first_star_row = next(i for i, l in enumerate(lines) if "*" in l)
+        last_star_row = max(i for i, l in enumerate(lines) if "*" in l)
+        first_star_col = lines[first_star_row].index("*")
+        last_star_col = lines[last_star_row].rindex("*")
+        assert first_star_row < last_star_row  # top before bottom
+        assert first_star_col < last_star_col  # left before right
+
+    def test_zero_entries_ignored(self):
+        text = loglog_scatter_text({0: 5, 1: 10, 2: 3})
+        assert "*" in text
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(EvaluationError):
+            loglog_scatter_text({1: 5})
+
+
+class TestLineChart:
+    def test_renders_multiple_series(self):
+        text = line_chart_text(
+            {
+                "digg": {0.0: 0.7, 1.0: 0.9, 2.0: 1.0},
+                "flickr": {0.0: 0.5, 1.0: 0.8, 2.0: 1.0},
+            },
+            width=40,
+            height=10,
+        )
+        assert "d" in text
+        assert "f" in text
+        assert "legend:" in text
+
+    def test_single_series(self):
+        text = line_chart_text({"x": {1.0: 2.0, 2.0: 4.0}})
+        assert "x=x" in text
+
+    def test_flat_series_handled(self):
+        text = line_chart_text({"c": {0.0: 1.0, 5.0: 1.0}})
+        assert "c" in text
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(EvaluationError):
+            line_chart_text({"a": {1.0: 1.0}})
+
+
+class TestSortedSeries:
+    def test_coerces_and_sorts(self):
+        series = sorted_series({3: 0.5, 1: 0.1})
+        assert list(series) == [1.0, 3.0]
+        assert series[3.0] == 0.5

@@ -1,0 +1,95 @@
+"""Unit tests for the quantified Fig 6 pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.errors import EvaluationError
+from repro.utils.rng import ensure_rng
+from repro.viz.embedding_plot import (
+    layout_to_text,
+    pair_proximity,
+    visualization_report,
+)
+from repro.viz.tsne import TSNEConfig
+
+
+class TestPairProximity:
+    def test_close_pair_low_percentile(self):
+        layout = np.array([[0.0, 0.0], [0.1, 0.0], [5.0, 5.0], [9.0, -3.0]])
+        index = {10: 0, 11: 1, 12: 2, 13: 3}
+        percentiles = pair_proximity(layout, index, [(10, 11)])
+        assert percentiles[0] == 0.0  # the closest pair of all
+
+    def test_far_pair_high_percentile(self):
+        layout = np.array([[0.0, 0.0], [0.1, 0.0], [0.2, 0.0], [50.0, 50.0]])
+        index = {0: 0, 1: 1, 2: 2, 3: 3}
+        percentiles = pair_proximity(layout, index, [(0, 3)])
+        assert percentiles[0] > 0.4
+
+    def test_unknown_node_rejected(self):
+        layout = np.zeros((2, 2))
+        with pytest.raises(EvaluationError, match="missing"):
+            pair_proximity(layout, {0: 0, 1: 1}, [(0, 9)])
+
+    def test_empty_pairs_rejected(self):
+        with pytest.raises(EvaluationError):
+            pair_proximity(np.zeros((2, 2)), {0: 0, 1: 1}, [])
+
+
+class TestVisualizationReport:
+    @pytest.fixture(scope="class")
+    def vectors(self) -> np.ndarray:
+        rng = ensure_rng(0)
+        vectors = rng.normal(size=(30, 8))
+        # Make pair (0, 1) nearly identical so it must land close.
+        vectors[1] = vectors[0] + 0.01 * rng.normal(size=8)
+        return vectors
+
+    def test_report_shapes(self, vectors):
+        pairs = [(0, 1), (2, 3), (4, 5), (6, 7)]
+        report = visualization_report(
+            vectors, pairs, highlight=2,
+            tsne_config=TSNEConfig(num_iterations=120, perplexity=5), seed=0,
+        )
+        assert report.layout.shape[1] == 2
+        assert len(report.highlighted_pairs) == 2
+        assert report.pair_percentiles.shape == (2,)
+        assert 0.0 <= report.mean_pair_percentile <= 1.0
+
+    def test_identical_vectors_land_close(self, vectors):
+        pairs = [(0, 1)] + [(i, i + 1) for i in range(2, 28, 2)]
+        report = visualization_report(
+            vectors, pairs, highlight=1,
+            tsne_config=TSNEConfig(num_iterations=250, perplexity=5), seed=0,
+        )
+        assert report.pair_percentiles[0] < 0.2
+
+    def test_nodes_deduplicated(self, vectors):
+        report = visualization_report(
+            vectors, [(0, 1), (1, 2), (2, 0), (3, 4)], highlight=1,
+            tsne_config=TSNEConfig(num_iterations=60, perplexity=2), seed=0,
+        )
+        assert len(report.node_ids) == 5
+
+    def test_empty_pairs_rejected(self, vectors):
+        with pytest.raises(EvaluationError):
+            visualization_report(vectors, [], highlight=1)
+
+    def test_bad_highlight_rejected(self, vectors):
+        with pytest.raises(EvaluationError):
+            visualization_report(vectors, [(0, 1)], highlight=0)
+
+
+class TestAsciiLayout:
+    def test_renders_grid(self):
+        rng = ensure_rng(0)
+        vectors = rng.normal(size=(12, 6))
+        report = visualization_report(
+            vectors, [(0, 1), (2, 3)], highlight=2,
+            tsne_config=TSNEConfig(num_iterations=60, perplexity=3), seed=0,
+        )
+        text = layout_to_text(report, width=40, height=12)
+        lines = text.splitlines()
+        assert len(lines) == 12
+        assert all(len(line) == 40 for line in lines)
+        assert "0" in text and "1" in text

@@ -1,0 +1,111 @@
+"""Unit tests for the from-scratch t-SNE implementation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import EvaluationError
+from repro.utils.rng import ensure_rng
+from repro.viz.tsne import (
+    TSNEConfig,
+    kl_divergence,
+    pairwise_squared_distances,
+    tsne,
+)
+
+
+class TestPairwiseDistances:
+    def test_matches_manual(self):
+        points = np.array([[0.0, 0.0], [3.0, 4.0]])
+        distances = pairwise_squared_distances(points)
+        assert distances[0, 1] == pytest.approx(25.0)
+        assert distances[1, 0] == pytest.approx(25.0)
+        assert distances[0, 0] == 0.0
+
+    def test_non_negative(self):
+        rng = ensure_rng(0)
+        points = rng.normal(size=(20, 5))
+        distances = pairwise_squared_distances(points)
+        assert np.all(distances >= 0)
+        assert np.allclose(distances, distances.T)
+
+
+class TestTSNE:
+    @pytest.fixture(scope="class")
+    def clustered_points(self) -> np.ndarray:
+        rng = ensure_rng(1)
+        cluster_a = rng.normal(loc=0.0, scale=0.3, size=(15, 10))
+        cluster_b = rng.normal(loc=6.0, scale=0.3, size=(15, 10))
+        return np.vstack([cluster_a, cluster_b])
+
+    def test_output_shape_and_finiteness(self, clustered_points):
+        layout = tsne(
+            clustered_points,
+            TSNEConfig(num_iterations=150, perplexity=10),
+            seed=0,
+        )
+        assert layout.shape == (30, 2)
+        assert np.all(np.isfinite(layout))
+
+    def test_separates_clusters(self, clustered_points):
+        layout = tsne(
+            clustered_points,
+            TSNEConfig(num_iterations=300, perplexity=10),
+            seed=0,
+        )
+        centroid_a = layout[:15].mean(axis=0)
+        centroid_b = layout[15:].mean(axis=0)
+        within_a = np.linalg.norm(layout[:15] - centroid_a, axis=1).mean()
+        between = np.linalg.norm(centroid_a - centroid_b)
+        assert between > 2 * within_a
+
+    def test_centered_output(self, clustered_points):
+        layout = tsne(
+            clustered_points, TSNEConfig(num_iterations=100), seed=0
+        )
+        assert np.allclose(layout.mean(axis=0), 0.0, atol=1e-8)
+
+    def test_deterministic_under_seed(self, clustered_points):
+        config = TSNEConfig(num_iterations=50)
+        a = tsne(clustered_points, config, seed=3)
+        b = tsne(clustered_points, config, seed=3)
+        assert np.array_equal(a, b)
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(EvaluationError, match="at least 4"):
+            tsne(np.zeros((3, 5)))
+
+    def test_non_matrix_rejected(self):
+        with pytest.raises(EvaluationError, match="2-D"):
+            tsne(np.zeros(10))
+
+    def test_three_components(self, clustered_points):
+        layout = tsne(
+            clustered_points,
+            TSNEConfig(num_iterations=50),
+            seed=0,
+            num_components=3,
+        )
+        assert layout.shape == (30, 3)
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            TSNEConfig(perplexity=0)
+        with pytest.raises(ValueError):
+            TSNEConfig(num_iterations=0)
+
+
+class TestKL:
+    def test_kl_non_negative_and_better_for_real_layout(self):
+        rng = ensure_rng(1)
+        points = np.vstack(
+            [
+                rng.normal(0.0, 0.3, size=(10, 6)),
+                rng.normal(5.0, 0.3, size=(10, 6)),
+            ]
+        )
+        good = tsne(points, TSNEConfig(num_iterations=250, perplexity=8), seed=0)
+        random_layout = rng.normal(size=(20, 2))
+        assert kl_divergence(points, good, perplexity=8) >= 0
+        assert kl_divergence(points, good, perplexity=8) < kl_divergence(
+            points, random_layout, perplexity=8
+        )
