@@ -5,7 +5,10 @@ from repro.core.context import (
     ContextConfig,
     ContextGenerator,
     InfluenceContext,
+    batched_random_walk_with_restart,
     generate_context,
+    generate_episode_contexts,
+    generate_episode_contexts_batched,
     random_walk_with_restart,
 )
 from repro.core.embeddings import InfluenceEmbedding
@@ -20,7 +23,11 @@ from repro.core.pairs import (
     pair_frequencies,
 )
 from repro.core.prediction import EmbeddingPredictor, ICPredictor, InfluencePredictor
-from repro.core.propagation import PropagationNetwork, build_propagation_networks
+from repro.core.propagation import (
+    PropagationNetwork,
+    build_propagation_networks,
+    cached_propagation_networks,
+)
 
 __all__ = [
     "AGGREGATORS",
@@ -28,7 +35,10 @@ __all__ = [
     "ContextConfig",
     "ContextGenerator",
     "InfluenceContext",
+    "batched_random_walk_with_restart",
     "generate_context",
+    "generate_episode_contexts",
+    "generate_episode_contexts_batched",
     "random_walk_with_restart",
     "InfluenceEmbedding",
     "Inf2vecConfig",
@@ -45,4 +55,5 @@ __all__ = [
     "InfluencePredictor",
     "PropagationNetwork",
     "build_propagation_networks",
+    "cached_propagation_networks",
 ]

@@ -27,7 +27,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator, Sequence
 
-from repro.core.propagation import PropagationNetwork
+import numpy as np
+
+from repro.core.propagation import PropagationNetwork, cached_propagation_networks
 from repro.data.actionlog import ActionLog
 from repro.data.graph import SocialGraph
 from repro.errors import TrainingError
@@ -136,6 +138,92 @@ def random_walk_with_restart(
     return visited
 
 
+def batched_random_walk_with_restart(
+    network: PropagationNetwork,
+    starts: np.ndarray,
+    budget: int,
+    restart_prob: float,
+    rng: RandomState,
+) -> list[np.ndarray]:
+    """Run one restarting walk per start node, all advanced in lockstep.
+
+    Vectorised counterpart of :func:`random_walk_with_restart`: every
+    step advances the whole active frontier with fancy indexing over
+    the network's CSR arrays instead of walking one node at a time.
+    Per-walker semantics are identical — restart with probability
+    ``restart_prob`` when away from the start, dead ends force an
+    unrecorded restart, the start node is never recorded, and walkers
+    whose start has no successors return empty — but the RNG stream is
+    consumed frontier-by-frontier rather than walker-by-walker, so
+    individual walks differ from the sequential ones under the same
+    seed while remaining distributionally equivalent.
+
+    Returns one int64 array of visited users (original IDs, in visit
+    order) per entry of ``starts``.
+    """
+    starts = np.asarray(starts, dtype=np.int64)
+    num_walkers = int(starts.shape[0])
+    if budget <= 0 or num_walkers == 0:
+        return [_EMPTY_WALK.copy() for _ in range(num_walkers)]
+    start_compact = network.compact_indices(starts)
+    visited, filled = _batched_walk_raw(
+        network, start_compact, budget, restart_prob, rng
+    )
+    nodes = network.nodes
+    return [nodes[visited[w, : filled[w]]] for w in range(num_walkers)]
+
+
+def _batched_walk_raw(
+    network: PropagationNetwork,
+    start_compact: np.ndarray,
+    budget: int,
+    restart_prob: float,
+    rng: RandomState,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Lockstep walk core over compact positions.
+
+    Returns ``(visited, filled)``: a ``(num_walkers, budget)`` matrix of
+    visited compact positions (rows valid up to ``filled[w]``, zero
+    elsewhere) and the per-walker fill count.
+    """
+    num_walkers = int(start_compact.shape[0])
+    indptr, indices = network.successor_csr()
+    degrees = np.diff(indptr)
+
+    visited = np.zeros((num_walkers, budget), dtype=np.int64)
+    filled = np.zeros(num_walkers, dtype=np.int64)
+    current = start_compact.copy()
+    # Walkers whose start cannot reach anyone never produce output.
+    active = np.nonzero(degrees[start_compact] > 0)[0]
+    while active.size:
+        cur = current[active]
+        start = start_compact[active]
+        away = cur != start
+        restart = np.zeros(active.size, dtype=bool)
+        num_away = int(away.sum())
+        if num_away:
+            restart[away] = rng.random(num_away) < restart_prob
+        cur = np.where(restart, start, cur)
+        degree = degrees[cur]
+        # Dead ends among non-restarted walkers also jump home without
+        # recording; everyone else takes a uniform successor step.
+        moving = np.nonzero(~restart & (degree > 0))[0]
+        cur = np.where(~restart & (degree == 0), start, cur)
+        if moving.size:
+            choice = (rng.random(moving.size) * degree[moving]).astype(np.int64)
+            stepped = indices[indptr[cur[moving]] + choice]
+            cur[moving] = stepped
+            rows = active[moving]
+            visited[rows, filled[rows]] = stepped
+            filled[rows] += 1
+        current[active] = cur
+        active = active[filled[active] < budget]
+    return visited, filled
+
+
+_EMPTY_WALK = np.empty(0, dtype=np.int64)
+
+
 def sample_global_context(
     network: PropagationNetwork,
     user: int,
@@ -193,6 +281,69 @@ def generate_episode_contexts(
     return contexts
 
 
+def generate_episode_contexts_batched(
+    network: PropagationNetwork,
+    config: ContextConfig,
+    rng: RandomState,
+) -> list[InfluenceContext]:
+    """Vectorised :func:`generate_episode_contexts`.
+
+    All of the episode's local walks advance together through
+    :func:`batched_random_walk_with_restart`, and the global
+    co-adopter samples for every adopter are drawn in one call.  The
+    global draw uses the shifted-index trick — sample positions in
+    ``[0, |V_i| - 1)`` and skip past each user's own slot — which is
+    the same uniform-over-others distribution as the sequential
+    sampler.  Contexts that come out completely empty are dropped, as
+    in the sequential path.
+    """
+    users = network.nodes
+    num_users = int(users.shape[0])
+    if num_users == 0:
+        return []
+    # The compact position of ``nodes[k]`` is ``k`` by construction, so
+    # the whole adopter set seeds the walk as a plain arange.
+    local_budget = config.local_budget
+    if local_budget > 0:
+        visited, filled = _batched_walk_raw(
+            network,
+            np.arange(num_users, dtype=np.int64),
+            local_budget,
+            config.restart_prob,
+            rng,
+        )
+        # One matrix-wide gather + tolist instead of a tolist per walk.
+        # Most walks fill the whole budget, so tuple whole rows in one
+        # C-level pass and only truncate the short ones after the fact.
+        local_tuples = list(map(tuple, users[visited].tolist()))
+        short = np.nonzero(filled < local_budget)[0]
+        if short.shape[0]:
+            fills = filled.tolist()
+            for position in short.tolist():
+                local_tuples[position] = local_tuples[position][
+                    : fills[position]
+                ]
+    else:
+        local_tuples = [()] * num_users
+    global_budget = config.global_budget
+    if global_budget > 0 and num_users > 1:
+        draws = rng.integers(num_users - 1, size=(num_users, global_budget))
+        draws += draws >= np.arange(num_users)[:, None]
+        global_tuples = list(map(tuple, users[draws].tolist()))
+    else:
+        global_tuples = [()] * num_users
+    item = network.item
+    contexts = []
+    for user, local, global_ in zip(users.tolist(), local_tuples, global_tuples):
+        if local or global_:
+            contexts.append(
+                InfluenceContext(
+                    user=user, item=item, local=local, global_=global_
+                )
+            )
+    return contexts
+
+
 class ContextGenerator:
     """Generates the full training corpus ``P`` from a graph + action log.
 
@@ -209,6 +360,13 @@ class ContextGenerator:
     seed:
         RNG seed/generator; drawing contexts twice from generators
         constructed with the same seed yields identical corpora.
+    batched:
+        Use the vectorised episode pipeline (batched walks, one global
+        draw per episode, cached propagation networks).  ``False``
+        selects the sequential per-node reference implementation —
+        kept for speedup benchmarking and statistical-equivalence
+        tests.  Both modes are seed-deterministic but consume the RNG
+        in different orders, so their corpora differ draw-by-draw.
     """
 
     def __init__(
@@ -216,10 +374,12 @@ class ContextGenerator:
         graph: SocialGraph,
         config: ContextConfig | None = None,
         seed: SeedLike = None,
+        batched: bool = True,
     ):
         self._graph = graph
         self._config = config if config is not None else ContextConfig()
         self._rng = ensure_rng(seed)
+        self._batched = bool(batched)
 
     @property
     def config(self) -> ContextConfig:
@@ -228,14 +388,25 @@ class ContextGenerator:
 
     def iter_contexts(self, log: ActionLog) -> Iterator[InfluenceContext]:
         """Stream contexts episode by episode (lines 3–8 of Algorithm 2)."""
-        if log.num_users > self._graph.num_nodes:
+        active = log.active_users()
+        if active.shape[0] and int(active[-1]) >= self._graph.num_nodes:
             raise TrainingError(
-                f"action log has {log.num_users} users but the graph only "
-                f"has {self._graph.num_nodes} nodes"
+                f"action log references user {int(active[-1])} but the "
+                f"graph only has {self._graph.num_nodes} nodes (user IDs "
+                f"must be < num_nodes)"
             )
-        for episode in log:
-            network = PropagationNetwork.from_episode(self._graph, episode)
-            yield from generate_episode_contexts(network, self._config, self._rng)
+        if self._batched:
+            networks = cached_propagation_networks(self._graph, log)
+            for episode in log:
+                yield from generate_episode_contexts_batched(
+                    networks[episode.item], self._config, self._rng
+                )
+        else:
+            for episode in log:
+                network = PropagationNetwork.from_episode(self._graph, episode)
+                yield from generate_episode_contexts(
+                    network, self._config, self._rng
+                )
 
     def generate(self, log: ActionLog) -> list[InfluenceContext]:
         """Materialise the whole corpus ``P`` as a list."""

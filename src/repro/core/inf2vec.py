@@ -20,10 +20,14 @@ Training proceeds in two stages:
 
 The reference implementation is C++ and updates one ``(u, v)``
 observation at a time; this implementation applies the same gradients
-*per context tuple* (all of ``C_u^i`` and its negatives in one
+*per micro-batch of context tuples* (``Inf2vecConfig.batch_size``
+tuples, each with all of ``C_u^i`` and its negatives, in one fused
 vectorised step), which is mathematically a micro-batched SGD — the
-standard trick for word2vec-family models in numpy and the variance
-difference is negligible at the paper's context length of 50.
+standard trick for word2vec-family models in numpy; the variance
+difference is negligible at the paper's context length of 50 and the
+default batch size.  ``engine="sequential"`` selects the original
+one-context-at-a-time loop, kept as the reference implementation for
+benchmarks and equivalence tests.
 """
 
 from __future__ import annotations
@@ -32,6 +36,7 @@ from dataclasses import dataclass, field
 from typing import Literal, Sequence
 
 import numpy as np
+from scipy import sparse
 from scipy.special import expit, log_expit
 
 from repro.core.context import ContextConfig, ContextGenerator, InfluenceContext
@@ -46,7 +51,32 @@ from repro.utils.validation import check_positive, check_positive_int
 
 logger = get_logger("core.inf2vec")
 
+
+def _scatter_add_outer(
+    dest: np.ndarray,
+    rows: np.ndarray,
+    weights: np.ndarray,
+    vectors_index: np.ndarray,
+    vectors: np.ndarray,
+) -> None:
+    """Accumulate ``weights[j] * vectors[vectors_index[j]]`` into ``dest[rows[j]]``.
+
+    Semantically this is ``np.add.at(dest, rows, weights[:, None] *
+    vectors[vectors_index])`` — the Eq. 6 rank-1 updates with duplicate
+    rows summed — but phrased as one sparse-times-dense product
+    ``dest += M @ vectors`` with ``M[rows[j], vectors_index[j]] +=
+    weights[j]``, which never materialises the per-observation update
+    buffer and runs an order of magnitude faster than ``ufunc.at``.
+    """
+    matrix = sparse.coo_matrix(
+        (weights, (rows, vectors_index)),
+        shape=(dest.shape[0], vectors.shape[0]),
+    )
+    dest += matrix @ vectors
+
 NegativeDistribution = Literal["unigram", "uniform"]
+
+TrainingEngine = Literal["batched", "sequential"]
 
 
 @dataclass(frozen=True)
@@ -94,6 +124,24 @@ class Inf2vecConfig:
         Row-norm cap applied to the embedding rows touched by each
         update — a safety valve against SGD divergence; ``None``
         disables it.
+    engine:
+        ``"batched"`` (default) runs the fused epoch loop: contexts
+        are grouped into micro-batches of ``batch_size`` tuples, all
+        negatives of a batch come from one
+        :meth:`~repro.core.negative.NegativeSampler.sample_matrix`
+        call, and the Eq. 6 updates are applied with ``np.add.at``-style
+        scatter-accumulation.  ``"sequential"`` is the original
+        one-context-at-a-time SGD, kept as the reference
+        implementation for speedup benchmarks and equivalence tests.
+    batch_size:
+        Micro-batch size (contexts per fused update) of the batched
+        engine.  ``1`` reproduces the sequential engine's RNG stream
+        and parameter trajectory exactly; larger batches trade SGD
+        staleness (gradients of a batch are evaluated at its entry
+        parameters) for vectorisation, the standard word2vec-in-numpy
+        compromise.  The effective batch is additionally capped at
+        ``num_users / 8`` contexts so tiny universes keep
+        sequential-quality dynamics.
     """
 
     dim: int = 50
@@ -107,12 +155,19 @@ class Inf2vecConfig:
     convergence_tol: float = 0.0
     lr_decay: bool = True
     max_norm: float | None = 10.0
+    engine: TrainingEngine = "batched"
+    batch_size: int = 64
 
     def __post_init__(self) -> None:
         check_positive_int("dim", self.dim)
         check_positive("learning_rate", self.learning_rate)
         check_positive_int("num_negatives", self.num_negatives)
         check_positive_int("epochs", self.epochs)
+        check_positive_int("batch_size", self.batch_size)
+        if self.engine not in ("batched", "sequential"):
+            raise TrainingError(
+                f"engine must be 'batched' or 'sequential', got {self.engine!r}"
+            )
         if self.negative_distribution not in ("unigram", "uniform"):
             raise TrainingError(
                 "negative_distribution must be 'unigram' or 'uniform', "
@@ -145,6 +200,10 @@ class Inf2vecModel:
         self._embedding: InfluenceEmbedding | None = None
         self._loss_history: list[float] = []
 
+    @property
+    def _batched(self) -> bool:
+        return self.config.engine == "batched"
+
     # ------------------------------------------------------------------
     # Fitting
     # ------------------------------------------------------------------
@@ -159,7 +218,9 @@ class Inf2vecModel:
         log:
             Training action log ``A`` (typically the 80% episode split).
         """
-        generator = ContextGenerator(graph, self.config.context, self._rng)
+        generator = ContextGenerator(
+            graph, self.config.context, self._rng, batched=self._batched
+        )
         corpus = generator.generate(log)
         if not corpus and len(log) > 0:
             logger.warning(
@@ -249,25 +310,32 @@ class Inf2vecModel:
             Episodes not seen by the original fit.
         epochs:
             Passes over the new contexts (defaults to the configured
-            epoch budget).
+            epoch budget).  ``0`` is an explicit no-op — the fitted
+            parameters are left untouched; negative values raise.
         """
         if self._embedding is None:
             raise NotFittedError(
                 "partial_fit extends a fitted model; call fit() first"
             )
+        budget = epochs if epochs is not None else self.config.epochs
+        if budget < 0:
+            raise TrainingError(f"epochs must be >= 0, got {budget}")
         if graph.num_nodes != self._embedding.num_users:
             raise TrainingError(
                 f"graph has {graph.num_nodes} nodes but the model was fitted "
                 f"for {self._embedding.num_users} users"
             )
-        generator = ContextGenerator(graph, self.config.context, self._rng)
+        if budget == 0:
+            return self
+        generator = ContextGenerator(
+            graph, self.config.context, self._rng, batched=self._batched
+        )
         corpus = generator.generate(new_log)
         if not corpus:
             return self
         sampler = self._build_sampler(corpus, self._embedding.num_users)
         final_lr = self._epoch_learning_rate(self.config.epochs - 1)
-        budget = epochs if epochs is not None else self.config.epochs
-        for _ in range(max(1, budget)):
+        for _ in range(budget):
             loss = self.train_epoch(corpus, sampler, learning_rate=final_lr)
             self._loss_history.append(loss)
         return self
@@ -277,12 +345,19 @@ class Inf2vecModel:
         corpus: Sequence[InfluenceContext],
         sampler: NegativeSampler | None = None,
         learning_rate: float | None = None,
+        batch_size: int | None = None,
     ) -> float:
         """One pass over the corpus (lines 10–16); returns mean loss.
 
         The loss is the negative of Eq. 4 averaged over positive
         observations — lower is better, and a decreasing sequence
         across epochs is the convergence signal.
+
+        Dispatches to the fused micro-batched loop or to the
+        sequential reference loop according to ``config.engine`` (see
+        :class:`Inf2vecConfig`); both shuffle the corpus with the same
+        permutation draw, and at ``batch_size=1`` the two trajectories
+        coincide.
 
         Parameters
         ----------
@@ -291,6 +366,80 @@ class Inf2vecModel:
         learning_rate:
             Step size for this epoch; defaults to the configured
             (undecayed) rate when called directly.
+        batch_size:
+            Micro-batch override for this epoch (batched engine only);
+            defaults to ``config.batch_size``.
+        """
+        if self._embedding is None:
+            raise NotFittedError(
+                "call fit()/fit_contexts() before train_epoch(); the "
+                "parameter store is not initialised"
+            )
+        if sampler is None:
+            sampler = self._build_sampler(corpus, self._embedding.num_users)
+        if not corpus:
+            return 0.0
+        if learning_rate is None:
+            learning_rate = self.config.learning_rate
+        if not self._batched:
+            return self.train_epoch_sequential(corpus, sampler, learning_rate)
+        if batch_size is None:
+            batch_size = self.config.batch_size
+        batch_size = check_positive_int("batch_size", batch_size)
+        # Cap the micro-batch relative to the universe: in a tiny
+        # universe a large batch hits every embedding row many times
+        # with gradients evaluated at the batch's entry parameters,
+        # which multiplies the effective per-row step size and
+        # destabilises SGD.  num_users/8 keeps per-row accumulation in
+        # the regime where micro-batched and sequential SGD match.
+        batch_size = min(batch_size, max(1, self._embedding.num_users // 8))
+
+        order = self._rng.permutation(len(corpus))
+        user_ids = np.fromiter(
+            (context.user for context in corpus), dtype=np.int64, count=len(corpus)
+        )
+        positive_arrays = [
+            np.asarray(context.users, dtype=np.int64) for context in corpus
+        ]
+        sizes = np.fromiter(
+            (array.shape[0] for array in positive_arrays),
+            dtype=np.int64,
+            count=len(corpus),
+        )
+        # Flatten the permuted epoch once; each micro-batch is then a
+        # pair of views into these arrays instead of a fresh concat.
+        ordered_sizes = sizes[order]
+        offsets = np.concatenate(([0], np.cumsum(ordered_sizes)))
+        total_positives = int(offsets[-1])
+        if total_positives == 0:
+            return 0.0
+        flat_positives = np.concatenate(
+            [positive_arrays[int(i)] for i in order]
+        )
+        flat_users = np.repeat(user_ids[order], ordered_sizes)
+        total_loss = 0.0
+        for start in range(0, order.shape[0], batch_size):
+            lo = int(offsets[start])
+            hi = int(offsets[min(start + batch_size, order.shape[0])])
+            if hi == lo:
+                continue
+            total_loss += self._update_batch(
+                flat_users[lo:hi], flat_positives[lo:hi], sampler, learning_rate
+            )
+        return total_loss / total_positives
+
+    def train_epoch_sequential(
+        self,
+        corpus: Sequence[InfluenceContext],
+        sampler: NegativeSampler | None = None,
+        learning_rate: float | None = None,
+    ) -> float:
+        """One epoch of the original one-context-at-a-time SGD loop.
+
+        This is the seed implementation the batched engine is measured
+        against (``benchmarks/bench_training_throughput.py``) and the
+        reference for the equivalence tests; semantics are identical
+        to :meth:`train_epoch` with ``engine="sequential"``.
         """
         if self._embedding is None:
             raise NotFittedError(
@@ -336,7 +485,15 @@ class Inf2vecModel:
         num_neg = self.config.num_negatives
         u = int(user)
 
-        negatives = sampler.sample_matrix(positives.shape[0], num_neg, self._rng)
+        # A negative drawn equal to the center user or to the row's own
+        # positive would receive a gradient contradicting the positive
+        # update; mask-and-resample such collisions.
+        exclude = np.stack(
+            [np.full_like(positives, u), positives], axis=1
+        )
+        negatives = sampler.sample_matrix(
+            positives.shape[0], num_neg, self._rng, exclude=exclude
+        )
         flat_negatives = negatives.ravel()
 
         s_u = emb.source[u]
@@ -375,6 +532,89 @@ class Inf2vecModel:
         self._clip_norms(emb, u, positives, flat_negatives)
         return float(loss)
 
+    def _update_batch(
+        self,
+        users: np.ndarray,
+        positives: np.ndarray,
+        sampler: NegativeSampler,
+        lr: float,
+    ) -> float:
+        """Fused Eq. 6 update over a micro-batch of contexts.
+
+        ``users`` and ``positives`` are aligned flat arrays — one entry
+        per positive observation, with each context's center user
+        repeated over its context members.  All negatives for the
+        batch come from a single ``sample_matrix`` call, every z-score
+        is computed with one gather + einsum per parameter family, and
+        the scatter-accumulated writes (``np.add.at`` semantics,
+        implemented via :func:`_scatter_add_outer`) handle repeated rows
+        (the same user appearing in several contexts of the batch)
+        exactly like the sequential loop's duplicate handling.
+        All gradients are evaluated at the batch's entry parameters —
+        micro-batched SGD, the standard word2vec-in-numpy semantics.
+        """
+        emb = self._embedding
+        assert emb is not None  # guarded by callers
+        num_neg = self.config.num_negatives
+        num_pos = positives.shape[0]
+
+        exclude = np.stack([users, positives], axis=1)
+        negatives = sampler.sample_matrix(
+            num_pos, num_neg, self._rng, exclude=exclude
+        )
+        flat_negatives = negatives.ravel()
+
+        s = emb.source[users]  # (p, K)
+        t_pos = emb.target[positives]  # (p, K)
+        t_neg = emb.target[flat_negatives].reshape(num_pos, num_neg, -1)
+
+        source_bias = emb.source_bias[users]
+        z_pos = (
+            np.einsum("pk,pk->p", s, t_pos)
+            + source_bias
+            + emb.target_bias[positives]
+        )
+        z_neg = (
+            np.einsum("pk,pnk->pn", s, t_neg)
+            + source_bias[:, None]
+            + emb.target_bias[negatives]
+        )
+
+        g_pos = 1.0 - expit(z_pos)  # d/dz log sigma(z)
+        g_neg = -expit(z_neg)  # d/dz log sigma(-z)
+
+        loss = -(log_expit(z_pos).sum() + log_expit(-z_neg).sum())
+
+        # Fold the step size into the (small) gradient coefficients once
+        # so every scatter below is already step-sized.
+        g_pos *= lr
+        g_neg *= lr
+        grad_s = g_pos[:, None] * t_pos + np.einsum("pn,pnk->pk", g_neg, t_neg)
+        # One fused scatter over all touched target rows (positives and
+        # negatives together): every target update is a weighted copy of
+        # its observation's source row, so the whole batch is a single
+        # sparse-times-dense product against ``s``.
+        target_rows = np.concatenate([positives, flat_negatives])
+        g_all = np.concatenate([g_pos, g_neg.ravel()])
+        observation = np.arange(num_pos)
+        target_observation = np.concatenate(
+            [observation, np.repeat(observation, num_neg)]
+        )
+        _scatter_add_outer(emb.target, target_rows, g_all, target_observation, s)
+        _scatter_add_outer(
+            emb.source, users, np.ones(num_pos), observation, grad_s
+        )
+        if self.config.use_biases:
+            num_users = emb.source_bias.shape[0]
+            emb.source_bias += np.bincount(
+                users, weights=g_pos + g_neg.sum(axis=1), minlength=num_users
+            )
+            emb.target_bias += np.bincount(
+                target_rows, weights=g_all, minlength=num_users
+            )
+        self._clip_norm_rows(emb, users, positives, flat_negatives)
+        return float(loss)
+
     def _clip_norms(
         self,
         emb: InfluenceEmbedding,
@@ -395,6 +635,37 @@ class Inf2vecModel:
         if np.any(over):
             rows = touched[over]
             emb.target[rows] *= (cap / norms[over])[:, None]
+
+    def _clip_norm_rows(
+        self,
+        emb: InfluenceEmbedding,
+        users: np.ndarray,
+        positives: np.ndarray,
+        negatives: np.ndarray,
+    ) -> None:
+        """Batch variant of :meth:`_clip_norms` for many source rows."""
+        cap = self.config.max_norm
+        if cap is None:
+            return
+        # Deduplicate touched rows with a membership mask — O(|V| + rows)
+        # beats np.unique's sort at batch sizes in the thousands.
+        mask = np.zeros(emb.source.shape[0], dtype=bool)
+        mask[users] = True
+        source_rows = np.nonzero(mask)[0]
+        source_norms = np.linalg.norm(emb.source[source_rows], axis=1)
+        over = source_norms > cap
+        if np.any(over):
+            rows = source_rows[over]
+            emb.source[rows] *= (cap / source_norms[over])[:, None]
+        mask = np.zeros(emb.target.shape[0], dtype=bool)
+        mask[positives] = True
+        mask[negatives] = True
+        touched = np.nonzero(mask)[0]
+        target_norms = np.linalg.norm(emb.target[touched], axis=1)
+        over = target_norms > cap
+        if np.any(over):
+            rows = touched[over]
+            emb.target[rows] *= (cap / target_norms[over])[:, None]
 
     # ------------------------------------------------------------------
     # Helpers

@@ -210,6 +210,26 @@ class SocialGraph:
         """In-degree of every node as an int64 array."""
         return np.diff(self._in_indptr)
 
+    def out_csr(self) -> tuple[np.ndarray, np.ndarray]:
+        """Out-adjacency as raw CSR ``(indptr, indices)`` arrays.
+
+        ``indices[indptr[u]:indptr[u+1]]`` are the out-neighbours of
+        ``u``.  Exposed for vectorised consumers (batched random walks,
+        bulk pair extraction) that gather many nodes' neighbourhoods
+        with fancy indexing instead of per-node method calls.  The
+        returned arrays are the live internals — treat them as
+        read-only.
+        """
+        return self._out_indptr, self._out_indices
+
+    def in_csr(self) -> tuple[np.ndarray, np.ndarray]:
+        """In-adjacency as raw CSR ``(indptr, indices)`` arrays.
+
+        ``indices[indptr[v]:indptr[v+1]]`` are the in-neighbours of
+        ``v``.  See :meth:`out_csr` for the access contract.
+        """
+        return self._in_indptr, self._in_indices
+
     # ------------------------------------------------------------------
     # Derived graphs
     # ------------------------------------------------------------------

@@ -7,9 +7,11 @@ from repro.core.context import (
     ContextConfig,
     ContextGenerator,
     InfluenceContext,
+    batched_random_walk_with_restart,
     corpus_statistics,
     generate_context,
     generate_episode_contexts,
+    generate_episode_contexts_batched,
     random_walk_with_restart,
     sample_global_context,
 )
@@ -85,6 +87,53 @@ class TestRandomWalk:
         assert 3 in visited
 
 
+class TestBatchedRandomWalk:
+    def test_budget_and_reachability_per_walker(self, chain_network):
+        rng = ensure_rng(0)
+        walks = batched_random_walk_with_restart(
+            chain_network, np.array([0, 1, 2, 3]), 6, 0.5, rng
+        )
+        assert len(walks) == 4
+        assert walks[0].shape[0] == 6 and set(walks[0].tolist()) <= {1, 2, 3}
+        assert walks[1].shape[0] == 6 and set(walks[1].tolist()) <= {2, 3}
+        # 2's only successor is 3, so every visit is 3.
+        assert walks[2].tolist() == [3] * 6
+        # 3 is a sink: no successors at all means an empty walk.
+        assert walks[3].shape[0] == 0
+
+    def test_zero_budget(self, chain_network):
+        walks = batched_random_walk_with_restart(
+            chain_network, np.array([0, 2]), 0, 0.5, ensure_rng(0)
+        )
+        assert [w.shape[0] for w in walks] == [0, 0]
+
+    def test_dead_end_restarts_without_recording(self):
+        # 0 -> 1 and nothing else: the walk bounces 0 -> 1 (recorded),
+        # dead-ends at 1, restarts home unrecorded, and repeats.  With
+        # restart_prob 0 the only way home is the dead-end restart.
+        net = PropagationNetwork(0, np.array([0, 1]), np.array([[0, 1]]))
+        walks = batched_random_walk_with_restart(
+            net, np.array([0]), 5, 0.0, ensure_rng(0)
+        )
+        assert walks[0].tolist() == [1] * 5
+
+    def test_start_never_recorded(self, chain_network):
+        walks = batched_random_walk_with_restart(
+            chain_network, np.array([0]), 40, 0.5, ensure_rng(1)
+        )
+        assert 0 not in walks[0].tolist()
+
+    def test_deterministic_under_seed(self, chain_network):
+        starts = np.array([0, 1, 2])
+        a = batched_random_walk_with_restart(
+            chain_network, starts, 8, 0.5, ensure_rng(3)
+        )
+        b = batched_random_walk_with_restart(
+            chain_network, starts, 8, 0.5, ensure_rng(3)
+        )
+        assert all(np.array_equal(x, y) for x, y in zip(a, b))
+
+
 class TestGlobalContext:
     def test_samples_exclude_self(self, chain_network):
         rng = ensure_rng(0)
@@ -155,6 +204,65 @@ class TestContextGenerator:
         generator = ContextGenerator(tiny_graph, seed=0)
         with pytest.raises(TrainingError, match="graph only"):
             generator.generate(log)
+
+    def test_validates_by_max_id_not_universe_size(self, tiny_graph):
+        # The log's declared universe is larger than the graph, but
+        # every referenced user fits — that must be accepted; only an
+        # out-of-range ID is an error.
+        log = ActionLog(
+            [DiffusionEpisode(0, [(1, 1.0), (3, 2.0)])], num_users=100
+        )
+        corpus = ContextGenerator(
+            tiny_graph, ContextConfig(length=4, alpha=0.5), seed=0
+        ).generate(log)
+        assert {c.user for c in corpus} == {1, 3}
+
+    def test_batched_matches_sequential_structure(self, tiny_graph, tiny_log):
+        # Context sizes are structural (a walk is empty iff the start
+        # has no successors; the global slice is empty iff the user is
+        # the only adopter), so both engines must agree on them even
+        # though the sampled members differ draw by draw.
+        config = ContextConfig(length=6, alpha=0.5)
+        seq = ContextGenerator(
+            tiny_graph, config, seed=3, batched=False
+        ).generate(tiny_log)
+        bat = ContextGenerator(
+            tiny_graph, config, seed=3, batched=True
+        ).generate(tiny_log)
+        key = lambda c: (c.item, c.user, len(c.local), len(c.global_))  # noqa: E731
+        assert sorted(map(key, seq)) == sorted(map(key, bat))
+
+    def test_batched_deterministic_under_seed(self, tiny_graph, tiny_log):
+        config = ContextConfig(length=6, alpha=0.5)
+        a = ContextGenerator(tiny_graph, config, seed=9, batched=True).generate(
+            tiny_log
+        )
+        b = ContextGenerator(tiny_graph, config, seed=9, batched=True).generate(
+            tiny_log
+        )
+        assert a == b
+
+
+class TestBatchedEpisodeContexts:
+    def test_matches_sequential_membership_constraints(self, chain_network):
+        config = ContextConfig(length=10, alpha=0.5)
+        contexts = generate_episode_contexts_batched(
+            chain_network, config, ensure_rng(0)
+        )
+        assert {c.user for c in contexts} == {0, 1, 2, 3}
+        for context in contexts:
+            # Global samples never include the center user.
+            assert context.user not in context.global_
+            assert len(context.global_) == 5
+
+    def test_singleton_episode_produces_nothing(self):
+        net = PropagationNetwork(
+            0, np.array([4]), np.empty((0, 2), dtype=np.int64)
+        )
+        contexts = generate_episode_contexts_batched(
+            net, ContextConfig(length=10), ensure_rng(0)
+        )
+        assert contexts == []
 
 
 class TestCorpusStatistics:

@@ -98,6 +98,23 @@ class TestPartialFit:
         with pytest.raises(TrainingError, match="fitted"):
             model.partial_fit(bigger, ActionLog([], num_users=20))
 
+    def test_zero_epochs_is_noop(self, graph, logs):
+        early, late = logs
+        config = Inf2vecConfig(dim=4, epochs=2)
+        model = Inf2vecModel(config, seed=0).fit(graph, early)
+        before = model.embedding.source.copy()
+        history_before = model.loss_history
+        model.partial_fit(graph, late, epochs=0)
+        assert np.array_equal(before, model.embedding.source)
+        assert model.loss_history == history_before
+
+    def test_negative_epochs_rejected(self, graph, logs):
+        early, late = logs
+        config = Inf2vecConfig(dim=4, epochs=2)
+        model = Inf2vecModel(config, seed=0).fit(graph, early)
+        with pytest.raises(TrainingError, match="epochs"):
+            model.partial_fit(graph, late, epochs=-1)
+
     def test_empty_new_log_is_noop(self, graph, logs):
         early, _late = logs
         config = Inf2vecConfig(dim=4, epochs=2)

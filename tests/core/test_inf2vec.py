@@ -17,7 +17,7 @@ class _FixedSampler(NegativeSampler):
         super().__init__(np.ones(int(matrix.max()) + 1))
         self._matrix = matrix
 
-    def sample_matrix(self, rows, cols, rng):
+    def sample_matrix(self, rows, cols, rng, exclude=None):
         assert self._matrix.shape == (rows, cols)
         return self._matrix
 
@@ -199,6 +199,99 @@ class TestTraining:
         model = Inf2vecModel(config, seed=0).fit_contexts(corpus, num_users=10)
         norms = np.linalg.norm(model.embedding.source, axis=1)
         assert np.all(norms <= 1.0 + 1e-9)
+
+
+class TestEngines:
+    @pytest.fixture
+    def corpus(self):
+        rng = ensure_rng(13)
+        contexts = []
+        for _ in range(60):
+            user = int(rng.integers(12))
+            members = tuple(
+                int((user + off) % 12) for off in (1, 2, 5)
+            )
+            contexts.append(
+                InfluenceContext(
+                    user=user, item=0, local=members[:1], global_=members[1:]
+                )
+            )
+        return contexts
+
+    def test_invalid_engine_rejected(self):
+        with pytest.raises(TrainingError, match="engine"):
+            Inf2vecConfig(engine="turbo")  # type: ignore[arg-type]
+
+    def test_invalid_batch_size_rejected(self):
+        with pytest.raises(ValueError):
+            Inf2vecConfig(batch_size=0)
+
+    def test_batch_size_one_matches_sequential(self, corpus):
+        """The fused loop at batch_size=1 follows the sequential
+        trajectory: same permutations, same negative draws, same
+        per-context updates (up to float summation order)."""
+        seq_config = Inf2vecConfig(
+            dim=6, epochs=3, engine="sequential", max_norm=None
+        )
+        bat_config = Inf2vecConfig(
+            dim=6, epochs=3, engine="batched", batch_size=1, max_norm=None
+        )
+        a = Inf2vecModel(seq_config, seed=21).fit_contexts(corpus, num_users=12)
+        b = Inf2vecModel(bat_config, seed=21).fit_contexts(corpus, num_users=12)
+        np.testing.assert_allclose(
+            a.embedding.source, b.embedding.source, rtol=1e-7, atol=1e-9
+        )
+        np.testing.assert_allclose(
+            a.embedding.target, b.embedding.target, rtol=1e-7, atol=1e-9
+        )
+        np.testing.assert_allclose(
+            a.loss_history, b.loss_history, rtol=1e-7
+        )
+
+    def test_batched_loss_decreases(self, corpus):
+        config = Inf2vecConfig(dim=8, epochs=10, learning_rate=0.05)
+        model = Inf2vecModel(config, seed=0).fit_contexts(corpus, num_users=12)
+        assert model.loss_history[-1] < model.loss_history[0]
+
+
+class TestEngineEquivalence:
+    def test_activation_metrics_match_sequential(self):
+        """Table-2 check: under a fixed seed the batched engine must
+        reproduce the seed trainer's activation-prediction metrics
+        within ±0.01 absolute."""
+        from dataclasses import replace
+
+        from repro.core.prediction import EmbeddingPredictor
+        from repro.data.synthetic import SyntheticSocialDataset
+        from repro.eval.activation import evaluate_activation
+
+        data = SyntheticSocialDataset.digg_like(
+            num_users=400, num_items=200, seed=11
+        )
+        train, _tune, test = data.log.split((0.8, 0.1, 0.1), seed=5)
+        base = Inf2vecConfig(
+            dim=16,
+            epochs=12,
+            learning_rate=0.01,
+            context=ContextConfig(length=15, alpha=0.2),
+        )
+        results = {}
+        for engine in ("sequential", "batched"):
+            model = Inf2vecModel(replace(base, engine=engine), seed=3).fit(
+                data.graph, train
+            )
+            results[engine] = evaluate_activation(
+                EmbeddingPredictor(model.embedding), data.graph, test
+            )
+        sequential, batched = results["sequential"], results["batched"]
+        assert abs(sequential.auc - batched.auc) <= 0.01, (
+            sequential.auc,
+            batched.auc,
+        )
+        assert abs(sequential.map - batched.map) <= 0.01, (
+            sequential.map,
+            batched.map,
+        )
 
 
 class TestLifecycle:

@@ -87,3 +87,49 @@ class TestSampling:
         a = sampler.sample(50, ensure_rng(5))
         b = sampler.sample(50, ensure_rng(5))
         assert np.array_equal(a, b)
+
+
+class TestExclude:
+    def test_global_exclude_never_drawn(self):
+        sampler = NegativeSampler.uniform(6)
+        matrix = sampler.sample_matrix(
+            200, 4, ensure_rng(0), exclude=np.array([2, 5])
+        )
+        assert matrix.shape == (200, 4)
+        assert not np.isin(matrix, [2, 5]).any()
+
+    def test_per_row_exclude(self):
+        sampler = NegativeSampler.uniform(4)
+        exclude = np.array([[0, 1], [2, 3], [1, 2]])
+        matrix = sampler.sample_matrix(3, 50, ensure_rng(1), exclude=exclude)
+        for row, banned in zip(matrix, exclude):
+            assert not np.isin(row, banned).any()
+
+    def test_unigram_weights_respected_under_exclusion(self):
+        sampler = NegativeSampler(np.array([5.0, 1.0, 1.0]))
+        matrix = sampler.sample_matrix(
+            400, 2, ensure_rng(2), exclude=np.array([0])
+        )
+        # Rejection resampling renormalises over the allowed support.
+        assert set(np.unique(matrix).tolist()) == {1, 2}
+
+    def test_impossible_exclusion_raises(self):
+        sampler = NegativeSampler.uniform(2)
+        with pytest.raises(TrainingError, match="collision-free"):
+            sampler.sample_matrix(
+                2, 2, ensure_rng(0), exclude=np.array([0, 1])
+            )
+
+    def test_bad_shape_rejected(self):
+        sampler = NegativeSampler.uniform(4)
+        with pytest.raises(TrainingError, match="exclude"):
+            sampler.sample_matrix(
+                3, 2, ensure_rng(0), exclude=np.zeros((2, 1), dtype=np.int64)
+            )
+
+    def test_empty_exclude_columns_is_noop(self):
+        sampler = NegativeSampler.uniform(4)
+        matrix = sampler.sample_matrix(
+            3, 2, ensure_rng(0), exclude=np.empty((3, 0), dtype=np.int64)
+        )
+        assert matrix.shape == (3, 2)
