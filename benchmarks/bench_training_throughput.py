@@ -20,6 +20,7 @@ from pathlib import Path
 from repro.core.context import ContextConfig, ContextGenerator
 from repro.core.inf2vec import Inf2vecConfig, Inf2vecModel
 from repro.data.synthetic import SyntheticSocialDataset
+from repro.obs import RunRecorder, recording
 from repro.utils.timer import timed
 
 #: Acceptance working point: the digg_like preset at 2000 users.
@@ -28,6 +29,13 @@ BENCH_SEED = 20180416  # ICDE 2018 week, arbitrary but memorable
 DIM = 32
 
 REPORT_PATH = Path(__file__).resolve().parents[1] / "BENCH_training.json"
+MANIFEST_PATH = REPORT_PATH.with_name("BENCH_training_manifest.json")
+
+#: Telemetry-off overhead budget for ``train_epoch`` (fraction of the
+#: disabled baseline).  The null-registry contract says the disabled
+#: path costs one attribute check per batch, so the delta should drown
+#: in run-to-run noise; the assertion uses a noise-tolerant bound.
+MAX_DISABLED_OVERHEAD = 0.25
 
 
 def run_throughput(
@@ -67,6 +75,23 @@ def run_throughput(
     batched_model.fit_contexts(corpus[:1], num_users=data.graph.num_nodes)
     _, bat_train_seconds = timed(lambda: batched_model.train_epoch(corpus))
 
+    # Same epoch again with telemetry recording — the difference is the
+    # observability tax when the registry is live.
+    run = RunRecorder(name="bench.training_throughput")
+    run.set_config(config)
+    run.set_dataset(
+        preset="digg_like", num_users=num_users, num_items=num_items
+    )
+    run.annotate(seed=seed, num_contexts=len(corpus))
+    telemetry_model = Inf2vecModel(config, seed=seed)
+    telemetry_model.fit_contexts(corpus[:1], num_users=data.graph.num_nodes)
+    with recording(run):
+        with run.span("train_epoch", engine="batched"):
+            _, telemetry_seconds = timed(
+                lambda: telemetry_model.train_epoch(corpus)
+            )
+    write_manifest(run)
+
     return {
         "preset": "digg_like",
         "num_users": num_users,
@@ -87,12 +112,23 @@ def run_throughput(
             "batched_seconds": bat_train_seconds,
             "speedup": seq_train_seconds / bat_train_seconds,
         },
+        "telemetry": {
+            "disabled_seconds": bat_train_seconds,
+            "enabled_seconds": telemetry_seconds,
+            "overhead_fraction": telemetry_seconds / bat_train_seconds - 1.0,
+            "manifest": MANIFEST_PATH.name,
+        },
     }
 
 
 def write_report(results: dict, path: Path = REPORT_PATH) -> None:
     """Persist the measured speedups next to the repository root."""
     path.write_text(json.dumps(results, indent=2) + "\n")
+
+
+def write_manifest(run: RunRecorder, path: Path = MANIFEST_PATH) -> None:
+    """Persist the telemetry run manifest beside the speedup report."""
+    run.write(path)
 
 
 def print_report(results: dict) -> None:
@@ -108,6 +144,12 @@ def print_report(results: dict) -> None:
             f"{stage:<20}{row['sequential_seconds']:>11.2f}s"
             f"{row['batched_seconds']:>11.2f}s{row['speedup']:>8.1f}x"
         )
+    telemetry = results["telemetry"]
+    print(
+        f"telemetry overhead  {telemetry['disabled_seconds']:>11.2f}s"
+        f"{telemetry['enabled_seconds']:>11.2f}s"
+        f"{telemetry['overhead_fraction']:>+8.1%}"
+    )
 
 
 def test_training_throughput(benchmark):
@@ -121,6 +163,12 @@ def test_training_throughput(benchmark):
     # records the actual margins, >= 3x on this preset).
     assert results["context_generation"]["speedup"] > 1.5, results
     assert results["train_epoch"]["speedup"] > 1.5, results
+    # Observability guard: recording telemetry may not blow up the
+    # epoch, and the manifest must capture what the epoch did.
+    assert results["telemetry"]["overhead_fraction"] < MAX_DISABLED_OVERHEAD, results
+    manifest = json.loads(MANIFEST_PATH.read_text())
+    assert manifest["metrics"], manifest.keys()
+    assert any(s["name"] == "train_epoch" for s in manifest["spans"])
 
 
 if __name__ == "__main__":

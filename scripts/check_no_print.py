@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Lint: no bare ``print()`` calls inside the library.
+
+Library code must report through ``repro.utils.logging`` (or the
+``repro.obs`` telemetry) so applications control the output channel;
+``print`` is reserved for the designated rendering surfaces:
+
+* ``repro/cli.py`` — the command-line front end;
+* ``repro/viz/ascii.py`` — the ASCII chart renderer;
+* functions named ``main`` or ``print_*`` in ``repro/experiments/``
+  — each experiment's documented "print the table/figure" contract.
+
+The check is AST-based, so docstrings, comments, and identifiers that
+merely contain the substring (``config_fingerprint(...)``) never
+trigger it.
+
+Run standalone (``python scripts/check_no_print.py``; exit code 1 on
+violations) or via the ``tests/test_no_print.py`` guard.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+SRC_ROOT = Path(__file__).resolve().parents[1] / "src" / "repro"
+
+#: Files where print() is the module's purpose.
+ALLOWED_FILES = frozenset({"cli.py", "viz/ascii.py"})
+
+#: Function-name patterns allowed to print inside experiments modules.
+EXPERIMENT_RENDERERS = ("main", "print_")
+
+
+def _allowed_in_experiments(func_stack: list[str]) -> bool:
+    return any(
+        name == "main" or name.startswith("print_")
+        for name in func_stack
+    )
+
+
+class _PrintFinder(ast.NodeVisitor):
+    """Collect bare ``print(...)`` calls with their enclosing functions."""
+
+    def __init__(self) -> None:
+        self.calls: list[tuple[int, list[str]]] = []
+        self._stack: list[str] = []
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._stack.append(node.name)
+        self.generic_visit(node)
+        self._stack.pop()
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if isinstance(node.func, ast.Name) and node.func.id == "print":
+            self.calls.append((node.lineno, list(self._stack)))
+        self.generic_visit(node)
+
+
+def find_violations(root: Path = SRC_ROOT) -> list[str]:
+    """``"path:line"`` for every disallowed print call under ``root``."""
+    violations: list[str] = []
+    for path in sorted(root.rglob("*.py")):
+        relative = path.relative_to(root).as_posix()
+        if relative in ALLOWED_FILES:
+            continue
+        finder = _PrintFinder()
+        finder.visit(ast.parse(path.read_text(), filename=str(path)))
+        in_experiments = relative.startswith("experiments/")
+        for lineno, stack in finder.calls:
+            if in_experiments and _allowed_in_experiments(stack):
+                continue
+            violations.append(f"src/repro/{relative}:{lineno}")
+    return violations
+
+
+def main() -> int:
+    violations = find_violations()
+    for violation in violations:
+        print(f"bare print() call: {violation}", file=sys.stderr)
+    if violations:
+        print(
+            f"{len(violations)} bare print() call(s); use "
+            "repro.utils.logging or repro.obs instead",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -25,6 +25,7 @@ from repro.data.actionlog import ActionLog, DiffusionEpisode
 from repro.data.graph import SocialGraph
 from repro.data.synthetic import SyntheticSocialDataset
 from repro.errors import ReproError
+from repro.obs import RunRecorder, recording
 
 __version__ = "1.0.0"
 
@@ -40,5 +41,7 @@ __all__ = [
     "SocialGraph",
     "SyntheticSocialDataset",
     "ReproError",
+    "RunRecorder",
+    "recording",
     "__version__",
 ]

@@ -24,6 +24,7 @@ grouped numpy operations rather than Python-level graph walks.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -33,7 +34,7 @@ from repro.data.actionlog import ActionLog
 from repro.data.graph import SocialGraph
 from repro.diffusion.probabilities import EdgeProbabilities
 from repro.errors import TrainingError
-from repro.utils.logging import get_logger
+from repro.utils.logging import get_logger, log_epoch_progress
 from repro.utils.validation import check_positive_int, check_probability
 
 logger = get_logger("baselines.em_ic")
@@ -159,11 +160,18 @@ class EMModel(EdgeProbabilityModel):
 
         self._iterations_run = 0
         for iteration in range(self.max_iterations):
+            started = time.perf_counter()
             updated = self._em_step(probabilities, data)
             delta = float(np.max(np.abs(updated - probabilities))) if updated.size else 0.0
             probabilities = updated
             self._iterations_run = iteration + 1
-            logger.debug("EM iteration %d: max delta %.6g", iteration, delta)
+            log_epoch_progress(
+                logger,
+                iteration,
+                self.max_iterations,
+                elapsed=time.perf_counter() - started,
+                max_delta=f"{delta:.6g}",
+            )
             if delta < self.tolerance:
                 break
 

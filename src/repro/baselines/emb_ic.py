@@ -29,6 +29,8 @@ negative term.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 from scipy.special import expit
 
@@ -37,7 +39,7 @@ from repro.data.actionlog import ActionLog
 from repro.data.graph import SocialGraph
 from repro.diffusion.probabilities import EdgeProbabilities
 from repro.errors import TrainingError
-from repro.utils.logging import get_logger
+from repro.utils.logging import get_logger, log_epoch_progress
 from repro.utils.rng import SeedLike, ensure_rng
 from repro.utils.validation import check_positive, check_positive_int
 
@@ -238,6 +240,7 @@ class EmbICModel(EdgeProbabilityModel):
 
         failed_targets = np.zeros(failed.shape[0], dtype=np.float64)
         for iteration in range(self.em_iterations):
+            started = time.perf_counter()
             # E-step: responsibilities under current probabilities.
             probs = expit(self._pair_logits(pos_sender, pos_receiver))
             log_failure = np.zeros(num_cases, dtype=np.float64)
@@ -255,10 +258,12 @@ class EmbICModel(EdgeProbabilityModel):
             targets = np.concatenate([responsibilities, failed_targets])
             for _ in range(self.gradient_epochs):
                 self._gradient_update(senders, receivers, targets)
-            logger.debug(
-                "Emb-IC EM iteration %d: mean responsibility %.4f",
+            log_epoch_progress(
+                logger,
                 iteration,
-                float(responsibilities.mean()),
+                self.em_iterations,
+                elapsed=time.perf_counter() - started,
+                mean_responsibility=f"{float(responsibilities.mean()):.4f}",
             )
         return self
 

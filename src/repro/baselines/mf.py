@@ -16,6 +16,9 @@ paper's "MF only reflects the global user similarity" comparator.
 
 from __future__ import annotations
 
+import math
+import time
+
 import numpy as np
 from scipy.special import expit
 
@@ -24,7 +27,7 @@ from repro.core.embeddings import InfluenceEmbedding
 from repro.data.actionlog import ActionLog
 from repro.data.graph import SocialGraph
 from repro.errors import TrainingError
-from repro.utils.logging import get_logger
+from repro.utils.logging import get_logger, log_epoch_progress
 from repro.utils.rng import SeedLike, ensure_rng
 from repro.utils.validation import check_positive, check_positive_int
 
@@ -131,6 +134,9 @@ class MFModel(EmbeddingModel):
         lr = self.learning_rate
         reg = self.regularization
         for epoch in range(self.epochs):
+            started = time.perf_counter()
+            loss = 0.0
+            updates = 0
             order = self._rng.permutation(pairs.shape[0])
             negatives = self._rng.integers(num_users, size=pairs.shape[0])
             for row, raw_negative in zip(order, negatives):
@@ -141,13 +147,23 @@ class MFModel(EmbeddingModel):
                 x_upos = source[u] @ target[pos]
                 x_uneg = source[u] @ target[neg]
                 gradient_weight = expit(-(x_upos - x_uneg))
+                # BPR loss -log sigma(x_upos - x_uneg); sigma(x) is
+                # 1 - gradient_weight, already in hand.
+                loss -= math.log(max(1.0 - gradient_weight, 1e-12))
+                updates += 1
                 grad_u = gradient_weight * (target[pos] - target[neg]) - reg * source[u]
                 grad_pos = gradient_weight * source[u] - reg * target[pos]
                 grad_neg = -gradient_weight * source[u] - reg * target[neg]
                 source[u] += lr * grad_u
                 target[pos] += lr * grad_pos
                 target[neg] += lr * grad_neg
-            logger.debug("BPR epoch %d complete", epoch)
+            log_epoch_progress(
+                logger,
+                epoch,
+                self.epochs,
+                loss=loss / max(updates, 1),
+                elapsed=time.perf_counter() - started,
+            )
 
         self._embedding = InfluenceEmbedding(
             source, target, np.zeros(num_users), np.zeros(num_users)

@@ -8,15 +8,19 @@ corresponding table/figure, e.g.::
     python -m repro.cli all --scale small
 
 ``all`` runs every experiment in paper order — the one-command full
-reproduction.
+reproduction.  ``--metrics-out`` / ``--trace-out`` turn on the
+``repro.obs`` telemetry for the whole invocation and write the run
+manifest / span trace afterwards.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from contextlib import nullcontext
 from typing import Callable, Mapping
 
+from repro.obs import RunRecorder, recording
 from repro.experiments import (
     fig1_2_powerlaw,
     fig3_cdf,
@@ -75,6 +79,16 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--list", action="store_true", help="list experiments and exit"
     )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        help="record telemetry and write the run manifest JSON here",
+    )
+    parser.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        help="record telemetry and write the span trace JSONL here",
+    )
     return parser
 
 
@@ -93,11 +107,31 @@ def main(argv: list[str] | None = None) -> int:
     else:
         names = [args.experiment]
 
-    for name in names:
-        description, runner = EXPERIMENTS[name]
-        print(f"=== {description} (scale={args.scale}, seed={args.seed}) ===")
-        runner(args.scale, args.seed)
-        print()
+    telemetry = args.metrics_out is not None or args.trace_out is not None
+    run = RunRecorder(name=args.experiment) if telemetry else None
+    if run is not None:
+        run.annotate(scale=args.scale, seed=args.seed)
+
+    with recording(run) if run is not None else nullcontext():
+        for name in names:
+            description, runner = EXPERIMENTS[name]
+            print(
+                f"=== {description} (scale={args.scale}, seed={args.seed}) ==="
+            )
+            if run is not None:
+                with run.span(f"experiment.{name}", scale=args.scale):
+                    runner(args.scale, args.seed)
+            else:
+                runner(args.scale, args.seed)
+            print()
+
+    if run is not None:
+        if args.metrics_out:
+            run.write(args.metrics_out)
+            print(f"run manifest written to {args.metrics_out}")
+        if args.trace_out:
+            run.write_trace(args.trace_out)
+            print(f"span trace written to {args.trace_out}")
     return 0
 
 

@@ -33,6 +33,12 @@ from repro.core.propagation import PropagationNetwork, cached_propagation_networ
 from repro.data.actionlog import ActionLog
 from repro.data.graph import SocialGraph
 from repro.errors import TrainingError
+from repro.obs.metrics import (
+    CONTEXT_LENGTH_BUCKETS,
+    MetricsRegistry,
+    WALK_LENGTH_BUCKETS,
+)
+from repro.obs.run import active_metrics
 from repro.utils.rng import RandomState, SeedLike, ensure_rng
 from repro.utils.validation import check_positive_int, check_probability
 
@@ -144,6 +150,7 @@ def batched_random_walk_with_restart(
     budget: int,
     restart_prob: float,
     rng: RandomState,
+    metrics: MetricsRegistry | None = None,
 ) -> list[np.ndarray]:
     """Run one restarting walk per start node, all advanced in lockstep.
 
@@ -167,7 +174,7 @@ def batched_random_walk_with_restart(
         return [_EMPTY_WALK.copy() for _ in range(num_walkers)]
     start_compact = network.compact_indices(starts)
     visited, filled = _batched_walk_raw(
-        network, start_compact, budget, restart_prob, rng
+        network, start_compact, budget, restart_prob, rng, metrics=metrics
     )
     nodes = network.nodes
     return [nodes[visited[w, : filled[w]]] for w in range(num_walkers)]
@@ -179,16 +186,26 @@ def _batched_walk_raw(
     budget: int,
     restart_prob: float,
     rng: RandomState,
+    metrics: MetricsRegistry | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Lockstep walk core over compact positions.
 
     Returns ``(visited, filled)``: a ``(num_walkers, budget)`` matrix of
     visited compact positions (rows valid up to ``filled[w]``, zero
     elsewhere) and the per-walker fill count.
+
+    When an enabled ``metrics`` registry is supplied, restart and
+    dead-end counts are accumulated per frontier step and flushed once
+    at the end; with the default ``None`` the loop does no telemetry
+    arithmetic at all (the zero-overhead contract).
     """
     num_walkers = int(start_compact.shape[0])
     indptr, indices = network.successor_csr()
     degrees = np.diff(indptr)
+    track = metrics is not None and metrics.enabled
+    restarts = 0
+    dead_ends = 0
+    steps = 0
 
     visited = np.zeros((num_walkers, budget), dtype=np.int64)
     filled = np.zeros(num_walkers, dtype=np.int64)
@@ -216,8 +233,22 @@ def _batched_walk_raw(
             rows = active[moving]
             visited[rows, filled[rows]] = stepped
             filled[rows] += 1
+        if track:
+            restarts += int(restart.sum())
+            dead_ends += int((~restart & (degree == 0)).sum())
+            steps += int(moving.size)
         current[active] = cur
         active = active[filled[active] < budget]
+    if track:
+        metrics.counter(
+            "contexts.walk.restarts", "probabilistic jumps back to the start"
+        ).inc(restarts)
+        metrics.counter(
+            "contexts.walk.dead_ends", "forced restarts at successor-less nodes"
+        ).inc(dead_ends)
+        metrics.counter(
+            "contexts.walk.steps", "recorded walk steps"
+        ).inc(steps)
     return visited, filled
 
 
@@ -285,6 +316,7 @@ def generate_episode_contexts_batched(
     network: PropagationNetwork,
     config: ContextConfig,
     rng: RandomState,
+    metrics: MetricsRegistry | None = None,
 ) -> list[InfluenceContext]:
     """Vectorised :func:`generate_episode_contexts`.
 
@@ -311,6 +343,7 @@ def generate_episode_contexts_batched(
             local_budget,
             config.restart_prob,
             rng,
+            metrics=metrics,
         )
         # One matrix-wide gather + tolist instead of a tolist per walk.
         # Most walks fill the whole budget, so tuple whole rows in one
@@ -367,6 +400,14 @@ class ContextGenerator:
         kept for speedup benchmarking and statistical-equivalence
         tests.  Both modes are seed-deterministic but consume the RNG
         in different orders, so their corpora differ draw-by-draw.
+    metrics:
+        Telemetry sink for walk/context statistics (restart counts,
+        walk-length and context-length histograms, episode cache
+        hits).  ``None`` (the default) resolves the ambient
+        :func:`repro.obs.run.active_metrics` registry at generation
+        time — the null registry unless a ``recording`` scope is
+        active, in which case generation records at no extra cost to
+        un-instrumented runs.
     """
 
     def __init__(
@@ -375,11 +416,13 @@ class ContextGenerator:
         config: ContextConfig | None = None,
         seed: SeedLike = None,
         batched: bool = True,
+        metrics: MetricsRegistry | None = None,
     ):
         self._graph = graph
         self._config = config if config is not None else ContextConfig()
         self._rng = ensure_rng(seed)
         self._batched = bool(batched)
+        self._metrics = metrics
 
     @property
     def config(self) -> ContextConfig:
@@ -395,22 +438,54 @@ class ContextGenerator:
                 f"graph only has {self._graph.num_nodes} nodes (user IDs "
                 f"must be < num_nodes)"
             )
+        metrics = self._metrics if self._metrics is not None else active_metrics()
         if self._batched:
-            networks = cached_propagation_networks(self._graph, log)
+            networks = cached_propagation_networks(
+                self._graph, log, metrics=metrics
+            )
             for episode in log:
-                yield from generate_episode_contexts_batched(
-                    networks[episode.item], self._config, self._rng
+                contexts = generate_episode_contexts_batched(
+                    networks[episode.item], self._config, self._rng,
+                    metrics=metrics,
                 )
+                if metrics.enabled:
+                    _observe_episode_contexts(metrics, contexts)
+                yield from contexts
         else:
             for episode in log:
                 network = PropagationNetwork.from_episode(self._graph, episode)
-                yield from generate_episode_contexts(
+                contexts = generate_episode_contexts(
                     network, self._config, self._rng
                 )
+                if metrics.enabled:
+                    _observe_episode_contexts(metrics, contexts)
+                yield from contexts
 
     def generate(self, log: ActionLog) -> list[InfluenceContext]:
         """Materialise the whole corpus ``P`` as a list."""
         return list(self.iter_contexts(log))
+
+
+def _observe_episode_contexts(
+    metrics: MetricsRegistry, contexts: Sequence[InfluenceContext]
+) -> None:
+    """Record one episode's context statistics (enabled registries only)."""
+    metrics.counter("contexts.episodes", "episodes processed").inc()
+    metrics.counter("contexts.tuples", "(u, C_u^i) tuples generated").inc(
+        len(contexts)
+    )
+    if not contexts:
+        return
+    metrics.histogram(
+        "contexts.walk_length",
+        WALK_LENGTH_BUCKETS,
+        "local random-walk context sizes",
+    ).observe_many([len(context.local) for context in contexts])
+    metrics.histogram(
+        "contexts.length",
+        CONTEXT_LENGTH_BUCKETS,
+        "full context sizes (local + global)",
+    ).observe_many([len(context) for context in contexts])
 
 
 def corpus_statistics(contexts: Sequence[InfluenceContext]) -> dict[str, float]:

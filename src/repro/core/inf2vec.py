@@ -32,6 +32,7 @@ benchmarks and equivalence tests.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Literal, Sequence
 
@@ -45,7 +46,9 @@ from repro.core.negative import NegativeSampler
 from repro.data.actionlog import ActionLog
 from repro.data.graph import SocialGraph
 from repro.errors import NotFittedError, TrainingError
-from repro.utils.logging import get_logger
+from repro.obs.metrics import NULL_REGISTRY
+from repro.obs.run import NULL_RUN, RunRecorder, active_run
+from repro.utils.logging import get_logger, log_epoch_progress
 from repro.utils.rng import SeedLike, ensure_rng
 from repro.utils.validation import check_positive, check_positive_int
 
@@ -142,6 +145,14 @@ class Inf2vecConfig:
         compromise.  The effective batch is additionally capped at
         ``num_users / 8`` contexts so tiny universes keep
         sequential-quality dynamics.
+    telemetry:
+        Opt into :mod:`repro.obs` run recording: ``fit()`` creates a
+        :class:`~repro.obs.run.RunRecorder` (exposed as
+        ``model.run_recorder``) capturing per-epoch metrics and the
+        fit → epoch → sgd span tree.  Off by default — training then
+        records nothing and pays only a cheap enabled-check.  An
+        ambient ``with recording(run):`` scope takes precedence over
+        this flag either way.
     """
 
     dim: int = 50
@@ -157,6 +168,7 @@ class Inf2vecConfig:
     max_norm: float | None = 10.0
     engine: TrainingEngine = "batched"
     batch_size: int = 64
+    telemetry: bool = False
 
     def __post_init__(self) -> None:
         check_positive_int("dim", self.dim)
@@ -199,10 +211,51 @@ class Inf2vecModel:
         self._rng = ensure_rng(seed)
         self._embedding: InfluenceEmbedding | None = None
         self._loss_history: list[float] = []
+        self._seed_text = None if seed is None else str(seed)
+        self._run_recorder: RunRecorder | None = None
+        self._metrics = NULL_REGISTRY
 
     @property
     def _batched(self) -> bool:
         return self.config.engine == "batched"
+
+    # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+
+    @property
+    def run_recorder(self) -> RunRecorder | None:
+        """The model-owned recorder (``config.telemetry`` runs only).
+
+        ``None`` unless ``telemetry=True`` and no ambient
+        ``recording`` scope supplied a recorder instead.
+        """
+        return self._run_recorder
+
+    def _resolve_obs(self, fresh: bool = False) -> RunRecorder:
+        """The recorder instrumented methods should write to.
+
+        Resolution order: ambient ``recording`` scope, then a
+        model-owned recorder when ``config.telemetry`` is set
+        (``fresh`` starts a new one — each ``fit`` is one run),
+        otherwise the shared null recorder.
+        """
+        run = active_run()
+        if run.enabled:
+            return run
+        if not self.config.telemetry:
+            return NULL_RUN
+        if fresh or self._run_recorder is None:
+            self._run_recorder = RunRecorder(name="inf2vec.fit")
+        return self._run_recorder
+
+    def _record_run_header(self, run: RunRecorder, **dataset: object) -> None:
+        if not run.enabled:
+            return
+        run.set_config(self.config)
+        run.set_dataset(**dataset)
+        if self._seed_text is not None:
+            run.annotate(seed=self._seed_text)
 
     # ------------------------------------------------------------------
     # Fitting
@@ -218,18 +271,38 @@ class Inf2vecModel:
         log:
             Training action log ``A`` (typically the 80% episode split).
         """
-        generator = ContextGenerator(
-            graph, self.config.context, self._rng, batched=self._batched
-        )
-        corpus = generator.generate(log)
-        if not corpus and len(log) > 0:
-            logger.warning(
-                "context generation produced an empty corpus "
-                "(no multi-adopter episodes?)"
+        run = self._resolve_obs(fresh=True)
+        with run.span("fit", engine=self.config.engine):
+            self._record_run_header(
+                run,
+                num_users=graph.num_nodes,
+                num_edges=graph.num_edges,
+                num_episodes=len(log),
             )
-        return self.fit_contexts(corpus, num_users=graph.num_nodes, generator=(
-            generator if self.config.regenerate_contexts else None
-        ), log=log)
+            generator = ContextGenerator(
+                graph,
+                self.config.context,
+                self._rng,
+                batched=self._batched,
+                metrics=run.metrics,
+            )
+            with run.span("contexts") as span:
+                corpus = generator.generate(log)
+                span.set_attribute("num_contexts", len(corpus))
+            if not corpus and len(log) > 0:
+                logger.warning(
+                    "context generation produced an empty corpus "
+                    "(no multi-adopter episodes?)"
+                )
+            return self._fit_loop(
+                corpus,
+                num_users=graph.num_nodes,
+                generator=(
+                    generator if self.config.regenerate_contexts else None
+                ),
+                log=log,
+                run=run,
+            )
 
     def fit_contexts(
         self,
@@ -254,6 +327,25 @@ class Inf2vecModel:
             Only needed when ``config.regenerate_contexts`` is set; the
             corpus is regenerated from them each epoch.
         """
+        run = self._resolve_obs(fresh=True)
+        with run.span("fit", engine=self.config.engine):
+            self._record_run_header(
+                run, num_users=num_users, num_contexts=len(corpus)
+            )
+            return self._fit_loop(
+                corpus, num_users=num_users, generator=generator, log=log,
+                run=run,
+            )
+
+    def _fit_loop(
+        self,
+        corpus: Sequence[InfluenceContext],
+        num_users: int,
+        generator: ContextGenerator | None,
+        log: ActionLog | None,
+        run: RunRecorder,
+    ) -> "Inf2vecModel":
+        """The epoch loop shared by :meth:`fit` and :meth:`fit_contexts`."""
         num_users = check_positive_int("num_users", num_users)
         self._embedding = InfluenceEmbedding.initialize(
             num_users, self.config.dim, self._rng
@@ -263,22 +355,72 @@ class Inf2vecModel:
         corpus = list(corpus)
         previous_loss = np.inf
         for epoch in range(self.config.epochs):
-            learning_rate = self._epoch_learning_rate(epoch)
-            loss = self.train_epoch(corpus, sampler, learning_rate=learning_rate)
-            self._loss_history.append(loss)
-            logger.debug("epoch %d: mean loss %.6f", epoch, loss)
-            if self._converged(previous_loss, loss):
-                logger.info("converged after %d epochs", epoch + 1)
-                break
-            previous_loss = loss
-            if self.config.regenerate_contexts and generator is not None:
+            # Regenerate the corpus at the top of every epoch after the
+            # first (not after the last, which would waste a generation
+            # pass whose output nobody trains on).
+            if epoch > 0 and self.config.regenerate_contexts and generator is not None:
                 if log is None:
                     raise TrainingError(
                         "regenerate_contexts requires the action log"
                     )
-                corpus = generator.generate(log)
+                with run.span("contexts"):
+                    corpus = list(generator.generate(log))
                 sampler = self._build_sampler(corpus, num_users)
+            learning_rate = self._epoch_learning_rate(epoch)
+            with run.span("epoch", epoch=epoch) as epoch_span:
+                started = time.perf_counter()
+                with run.span("sgd"):
+                    loss = self.train_epoch(
+                        corpus, sampler, learning_rate=learning_rate
+                    )
+                self._record_epoch(
+                    run, epoch_span, epoch, loss, learning_rate,
+                    corpus, started,
+                )
+            self._loss_history.append(loss)
+            log_epoch_progress(
+                logger,
+                epoch,
+                self.config.epochs,
+                loss=loss,
+                elapsed=time.perf_counter() - started,
+                lr=f"{learning_rate:.4g}",
+            )
+            if self._converged(previous_loss, loss):
+                logger.info("converged after %d epochs", epoch + 1)
+                break
+            previous_loss = loss
         return self
+
+    def _record_epoch(
+        self,
+        run: RunRecorder,
+        epoch_span,
+        epoch: int,
+        loss: float,
+        learning_rate: float,
+        corpus: Sequence[InfluenceContext],
+        started: float,
+    ) -> None:
+        """Per-epoch telemetry: loss, learning rate, examples/sec."""
+        metrics = run.metrics
+        if not metrics.enabled:
+            return
+        elapsed = time.perf_counter() - started
+        examples = sum(len(context) for context in corpus)
+        examples_per_sec = examples / elapsed if elapsed > 0 else 0.0
+        metrics.counter("train.epochs", "completed training epochs").inc()
+        metrics.gauge("train.epoch.loss", "mean per-positive loss").set(
+            loss, epoch=epoch
+        )
+        metrics.gauge("train.epoch.learning_rate", "annealed SGD step").set(
+            learning_rate, epoch=epoch
+        )
+        metrics.gauge(
+            "train.epoch.examples_per_sec", "positive observations per second"
+        ).set(examples_per_sec, epoch=epoch)
+        epoch_span.set_attribute("loss", loss)
+        epoch_span.set_attribute("examples_per_sec", examples_per_sec)
 
     def _epoch_learning_rate(self, epoch: int) -> float:
         """Word2vec-style linear annealing to 1% over the epoch budget."""
@@ -327,17 +469,32 @@ class Inf2vecModel:
             )
         if budget == 0:
             return self
-        generator = ContextGenerator(
-            graph, self.config.context, self._rng, batched=self._batched
-        )
-        corpus = generator.generate(new_log)
-        if not corpus:
-            return self
-        sampler = self._build_sampler(corpus, self._embedding.num_users)
-        final_lr = self._epoch_learning_rate(self.config.epochs - 1)
-        for _ in range(budget):
-            loss = self.train_epoch(corpus, sampler, learning_rate=final_lr)
-            self._loss_history.append(loss)
+        run = self._resolve_obs()
+        with run.span("partial_fit", engine=self.config.engine):
+            generator = ContextGenerator(
+                graph,
+                self.config.context,
+                self._rng,
+                batched=self._batched,
+                metrics=run.metrics,
+            )
+            with run.span("contexts"):
+                corpus = generator.generate(new_log)
+            if not corpus:
+                return self
+            sampler = self._build_sampler(corpus, self._embedding.num_users)
+            final_lr = self._epoch_learning_rate(self.config.epochs - 1)
+            for epoch in range(budget):
+                with run.span("epoch", epoch=epoch) as epoch_span:
+                    started = time.perf_counter()
+                    with run.span("sgd"):
+                        loss = self.train_epoch(
+                            corpus, sampler, learning_rate=final_lr
+                        )
+                    self._record_epoch(
+                        run, epoch_span, epoch, loss, final_lr, corpus, started
+                    )
+                self._loss_history.append(loss)
         return self
 
     def train_epoch(
@@ -381,6 +538,9 @@ class Inf2vecModel:
             return 0.0
         if learning_rate is None:
             learning_rate = self.config.learning_rate
+        # One ambient-recorder lookup per epoch; the per-batch hooks
+        # below are no-ops against the null registry.
+        self._metrics = self._resolve_obs().metrics
         if not self._batched:
             return self.train_epoch_sequential(corpus, sampler, learning_rate)
         if batch_size is None:
@@ -452,6 +612,7 @@ class Inf2vecModel:
             return 0.0
         if learning_rate is None:
             learning_rate = self.config.learning_rate
+        self._metrics = self._resolve_obs().metrics
         order = self._rng.permutation(len(corpus))
         total_loss = 0.0
         total_positives = 0
@@ -492,7 +653,8 @@ class Inf2vecModel:
             [np.full_like(positives, u), positives], axis=1
         )
         negatives = sampler.sample_matrix(
-            positives.shape[0], num_neg, self._rng, exclude=exclude
+            positives.shape[0], num_neg, self._rng, exclude=exclude,
+            metrics=self._metrics,
         )
         flat_negatives = negatives.ravel()
 
@@ -560,7 +722,8 @@ class Inf2vecModel:
 
         exclude = np.stack([users, positives], axis=1)
         negatives = sampler.sample_matrix(
-            num_pos, num_neg, self._rng, exclude=exclude
+            num_pos, num_neg, self._rng, exclude=exclude,
+            metrics=self._metrics,
         )
         flat_negatives = negatives.ravel()
 
@@ -626,15 +789,22 @@ class Inf2vecModel:
         cap = self.config.max_norm
         if cap is None:
             return
+        clipped = 0
         source_norm = float(np.linalg.norm(emb.source[user]))
         if source_norm > cap:
             emb.source[user] *= cap / source_norm
+            clipped += 1
         touched = np.unique(np.concatenate([positives, negatives]))
         norms = np.linalg.norm(emb.target[touched], axis=1)
         over = norms > cap
         if np.any(over):
             rows = touched[over]
             emb.target[rows] *= (cap / norms[over])[:, None]
+            clipped += int(rows.shape[0])
+        if clipped and self._metrics.enabled:
+            self._metrics.counter(
+                "train.clip.rows", "embedding rows rescaled by max_norm"
+            ).inc(clipped)
 
     def _clip_norm_rows(
         self,
@@ -647,6 +817,7 @@ class Inf2vecModel:
         cap = self.config.max_norm
         if cap is None:
             return
+        clipped = 0
         # Deduplicate touched rows with a membership mask — O(|V| + rows)
         # beats np.unique's sort at batch sizes in the thousands.
         mask = np.zeros(emb.source.shape[0], dtype=bool)
@@ -657,6 +828,7 @@ class Inf2vecModel:
         if np.any(over):
             rows = source_rows[over]
             emb.source[rows] *= (cap / source_norms[over])[:, None]
+            clipped += int(rows.shape[0])
         mask = np.zeros(emb.target.shape[0], dtype=bool)
         mask[positives] = True
         mask[negatives] = True
@@ -666,6 +838,11 @@ class Inf2vecModel:
         if np.any(over):
             rows = touched[over]
             emb.target[rows] *= (cap / target_norms[over])[:, None]
+            clipped += int(rows.shape[0])
+        if clipped and self._metrics.enabled:
+            self._metrics.counter(
+                "train.clip.rows", "embedding rows rescaled by max_norm"
+            ).inc(clipped)
 
     # ------------------------------------------------------------------
     # Helpers

@@ -127,6 +127,7 @@ class NegativeSampler:
         cols: int,
         rng: RandomState,
         exclude: np.ndarray | None = None,
+        metrics=None,
     ) -> np.ndarray:
         """Draw a ``(rows, cols)`` matrix of negatives in one shot.
 
@@ -144,6 +145,11 @@ class NegativeSampler:
             1 the row's positive).  Collisions are masked and redrawn
             from the same distribution, which is exact rejection
             sampling over the allowed support.
+        metrics:
+            Optional :class:`repro.obs.metrics.MetricsRegistry`; when
+            enabled it counts initial collisions and the
+            rejection-resample rounds spent clearing them
+            (``negatives.collisions`` / ``negatives.resample_rounds``).
 
         Raises
         ------
@@ -164,12 +170,25 @@ class NegativeSampler:
             )
         if exclude.shape[1] == 0:
             return matrix
+        track = metrics is not None and metrics.enabled
         collisions = (matrix[:, :, None] == exclude[:, None, :]).any(axis=2)
         row_idx, col_idx = np.nonzero(collisions)
+        if track and row_idx.shape[0]:
+            metrics.counter(
+                "negatives.collisions",
+                "negatives initially colliding with excluded users",
+            ).inc(row_idx.shape[0])
+        rounds = 0
         for _ in range(self.MAX_RESAMPLE_ROUNDS):
             if row_idx.shape[0] == 0:
+                if track and rounds:
+                    metrics.counter(
+                        "negatives.resample_rounds",
+                        "rejection-resample iterations",
+                    ).inc(rounds)
                 return matrix
             matrix[row_idx, col_idx] = self.sample(row_idx.shape[0], rng)
+            rounds += 1
             # Only the redrawn entries can still collide.
             still = (
                 matrix[row_idx, col_idx][:, None] == exclude[row_idx]

@@ -287,7 +287,7 @@ _NETWORK_CACHE: "weakref.WeakKeyDictionary[ActionLog, tuple[SocialGraph, dict[in
 
 
 def cached_propagation_networks(
-    graph: SocialGraph, log: "ActionLog"
+    graph: SocialGraph, log: "ActionLog", metrics=None
 ) -> Mapping[int, PropagationNetwork]:
     """Propagation networks of ``log``, memoised on log identity.
 
@@ -296,10 +296,22 @@ def cached_propagation_networks(
     extracted networks instead of re-running pair extraction.  A
     different graph object for a cached log rebuilds the entry; logs
     that cannot be weak-referenced are computed without caching.
+
+    An enabled :class:`repro.obs.metrics.MetricsRegistry` passed as
+    ``metrics`` counts ``contexts.cache.hits`` / ``.misses``.
     """
+    track = metrics is not None and metrics.enabled
     entry = _NETWORK_CACHE.get(log)
     if entry is not None and entry[0] is graph:
+        if track:
+            metrics.counter(
+                "contexts.cache.hits", "episode-network cache hits"
+            ).inc()
         return entry[1]
+    if track:
+        metrics.counter(
+            "contexts.cache.misses", "episode-network cache rebuilds"
+        ).inc()
     networks = dict(build_propagation_networks(graph, log))
     try:
         _NETWORK_CACHE[log] = (graph, networks)

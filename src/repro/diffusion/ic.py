@@ -24,7 +24,30 @@ import numpy as np
 
 from repro.diffusion.probabilities import EdgeProbabilities
 from repro.errors import GraphError
+from repro.obs.metrics import ROUND_BUCKETS, SPREAD_BUCKETS
+from repro.obs.run import active_metrics
 from repro.utils.rng import RandomState, SeedLike, ensure_rng
+
+
+def record_simulation(model: str, rounds: int, activated: int) -> None:
+    """Record one diffusion simulation into the ambient metrics registry.
+
+    No-op (one attribute check) unless a :func:`repro.obs.run.recording`
+    scope is active; the Monte-Carlo loops run thousands of
+    simulations, so everything heavier stays behind the enabled guard.
+    """
+    metrics = active_metrics()
+    if not metrics.enabled:
+        return
+    metrics.counter(
+        f"diffusion.{model}.simulations", "cascade simulations run"
+    ).inc()
+    metrics.histogram(
+        f"diffusion.{model}.rounds", ROUND_BUCKETS, "rounds until quiescence"
+    ).observe(rounds)
+    metrics.histogram(
+        f"diffusion.{model}.spread", SPREAD_BUCKETS, "activated-set sizes"
+    ).observe(activated)
 
 
 @dataclass(frozen=True)
@@ -114,6 +137,7 @@ def simulate_ic(
                     rounds.append(current_round)
         frontier = next_frontier
 
+    record_simulation("ic", current_round, len(activated))
     return CascadeResult(
         activated=np.asarray(activated, dtype=np.int64),
         activation_round=np.asarray(rounds, dtype=np.int64),
@@ -180,6 +204,7 @@ def simulate_ic_fast(
         rounds.extend([current_round] * fresh.size)
         frontier_array = fresh
 
+    record_simulation("ic", current_round, len(activated))
     return CascadeResult(
         activated=np.asarray(activated, dtype=np.int64),
         activation_round=np.asarray(rounds, dtype=np.int64),

@@ -20,6 +20,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.data.graph import SocialGraph
+from repro.diffusion.ic import record_simulation
 from repro.diffusion.probabilities import EdgeProbabilities
 from repro.errors import GraphError
 from repro.utils.rng import SeedLike, ensure_rng
@@ -140,6 +141,7 @@ def simulate_lt(
                     rounds.append(current_round)
         frontier = next_frontier
 
+    record_simulation("lt", current_round, len(activated))
     return LTResult(
         activated=np.asarray(activated, dtype=np.int64),
         activation_round=np.asarray(rounds, dtype=np.int64),

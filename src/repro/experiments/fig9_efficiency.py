@@ -21,8 +21,8 @@ from repro.baselines.emb_ic import EmbICModel
 from repro.core.context import ContextGenerator
 from repro.core.inf2vec import Inf2vecModel
 from repro.experiments.common import ExperimentScale, get_scale, make_dataset
+from repro.obs.run import RunRecorder, active_run
 from repro.utils.rng import SeedLike, ensure_rng
-from repro.utils.timer import timed
 
 #: Scaled stand-ins for the paper's K ∈ {10, 25, 50, 100, 200}.
 DEFAULT_DIMENSIONS = (8, 16, 32, 64)
@@ -64,6 +64,17 @@ class EfficiencyResult:
         return {dim: getattr(p, attr) for dim, p in sorted(self.points.items())}
 
 
+def _stage_run() -> RunRecorder:
+    """The ambient run if telemetry is recording, else a private one.
+
+    Stage durations are read from the spans either way — the CLI's
+    ``--trace-out`` flag then sees Fig 9's stage tree for free instead
+    of a parallel bespoke-timer universe.
+    """
+    run = active_run()
+    return run if run.enabled else RunRecorder(name="fig9")
+
+
 def _time_inf2vec_iteration(
     data, dim: int, scale: ExperimentScale, seed
 ) -> tuple[float, float]:
@@ -71,11 +82,14 @@ def _time_inf2vec_iteration(
     config = scale.inf2vec_config(dim=dim, epochs=1, lr_decay=False)
     model = Inf2vecModel(config, seed=seed)
     generator = ContextGenerator(data.graph, config.context, seed=seed)
-    corpus, context_seconds = timed(lambda: generator.generate(data.log))
+    run = _stage_run()
+    with run.span("fig9.contexts", dim=dim) as context_span:
+        corpus = generator.generate(data.log)
     # Initialise parameters without timing the setup.
     model.fit_contexts(corpus[:1] if corpus else [], num_users=data.graph.num_nodes)
-    _, seconds = timed(lambda: model.train_epoch(corpus))
-    return context_seconds, seconds
+    with run.span("fig9.iteration", dim=dim) as train_span:
+        model.train_epoch(corpus)
+    return context_span.duration, train_span.duration
 
 
 def _time_emb_ic_iteration(data, dim: int, seed) -> float:
@@ -93,8 +107,10 @@ def _time_emb_ic_iteration(data, dim: int, seed) -> float:
         exhaustive_failures=True,
         seed=seed,
     )
-    _, seconds = timed(lambda: model.fit(data.graph, data.log))
-    return seconds
+    run = _stage_run()
+    with run.span("fig9.emb_ic_iteration", dim=dim) as span:
+        model.fit(data.graph, data.log)
+    return span.duration
 
 
 def run(

@@ -24,6 +24,7 @@ is new.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -36,7 +37,7 @@ from repro.errors import NotFittedError, TrainingError
 from repro.eval.activation import iter_test_candidates
 from repro.eval.metrics import EvaluationResult, RankingEvaluator
 from repro.extensions.clustering import kmeans
-from repro.utils.logging import get_logger
+from repro.utils.logging import get_logger, log_epoch_progress
 from repro.utils.rng import SeedLike, ensure_rng
 from repro.utils.validation import check_positive_int
 
@@ -158,8 +159,16 @@ class TopicInf2vec:
                 continue
             sub_log = log.restrict_items(topic_items)
             model = Inf2vecModel(self.base_config, seed=self._rng)
+            started = time.perf_counter()
             model.fit(graph, sub_log)
             self._topic_models[topic] = model
+            log_epoch_progress(
+                logger,
+                topic,
+                num_topics,
+                elapsed=time.perf_counter() - started,
+                episodes=len(topic_items),
+            )
         logger.info(
             "trained %d topic models over %d topics",
             len(self._topic_models),

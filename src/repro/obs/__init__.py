@@ -1,0 +1,64 @@
+"""repro.obs — training telemetry: metrics, span tracing, run manifests.
+
+Three pieces, all opt-in and zero-overhead when off:
+
+* :mod:`repro.obs.metrics` — labelled counters/gauges/fixed-bucket
+  histograms behind a thread-safe :class:`MetricsRegistry` (the shared
+  :data:`NULL_REGISTRY` is the disabled default);
+* :mod:`repro.obs.tracing` — nestable ``span()`` context managers
+  producing an exportable span tree (:data:`NULL_TRACER` when off);
+* :mod:`repro.obs.run` — :class:`RunRecorder` combining both with a
+  config fingerprint into a run-manifest JSON, plus the ambient
+  ``with recording(run):`` opt-in scope.
+
+Quickstart::
+
+    from repro.obs import RunRecorder, recording
+
+    run = RunRecorder(name="my-experiment")
+    with recording(run):
+        model.fit(graph, log)          # instrumented paths record into run
+    run.write("run_manifest.json")
+    print(run.tracer.flame_text())
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    NullRegistry,
+    TelemetryError,
+)
+from repro.obs.run import (
+    NULL_RUN,
+    RunRecorder,
+    active_metrics,
+    active_run,
+    config_fingerprint,
+    recording,
+    resolve_run,
+)
+from repro.obs.tracing import NULL_TRACER, NullTracer, Span, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "TelemetryError",
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "RunRecorder",
+    "NULL_RUN",
+    "recording",
+    "active_run",
+    "active_metrics",
+    "resolve_run",
+    "config_fingerprint",
+]

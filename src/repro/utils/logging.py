@@ -47,5 +47,36 @@ def configure_logging(level: int = logging.INFO) -> logging.Logger:
     return root
 
 
+def log_epoch_progress(
+    log: logging.Logger,
+    epoch: int,
+    total: int,
+    loss: float | None = None,
+    elapsed: float | None = None,
+    **extras: object,
+) -> None:
+    """Emit one uniform per-epoch DEBUG progress line.
+
+    All iterative trainers (core model, EM baselines, BPR, per-topic
+    extensions) report through this helper so the epoch cadence reads
+    identically across the library::
+
+        epoch 3/10: loss=0.412310 elapsed=1.02s lr=0.0225
+
+    ``loss``/``elapsed`` are optional — EM loops that track a
+    convergence delta instead pass it via ``extras``.  The message is
+    only assembled when DEBUG is actually enabled.
+    """
+    if not log.isEnabledFor(logging.DEBUG):
+        return
+    parts = [f"epoch {epoch + 1}/{total}"]
+    if loss is not None:
+        parts.append(f"loss={loss:.6f}")
+    if elapsed is not None:
+        parts.append(f"elapsed={elapsed:.2f}s")
+    parts.extend(f"{key}={value}" for key, value in extras.items())
+    log.debug("%s: %s", parts[0], " ".join(parts[1:]) or "done")
+
+
 # Library etiquette: silence "No handlers could be found" warnings.
 logging.getLogger(PACKAGE_LOGGER_NAME).addHandler(logging.NullHandler())

@@ -1,4 +1,12 @@
-"""Wall-clock timing helpers used by the efficiency experiments (Fig 9)."""
+"""Wall-clock timing helpers used by the efficiency experiments (Fig 9).
+
+.. deprecated::
+    New instrumentation should prefer :mod:`repro.obs` — nestable
+    ``span()`` timings plus metrics land in one run manifest instead of
+    loose floats.  ``Timer``/``timed`` remain supported for simple
+    standalone measurements and for callers that predate ``repro.obs``
+    (the Fig 9 experiment itself now reads stage timings from spans).
+"""
 
 from __future__ import annotations
 
@@ -54,6 +62,17 @@ class Timer:
         """Zero the accumulated time and interval count."""
         self.elapsed = 0.0
         self.intervals = 0
+
+    def merge(self, other: "Timer") -> "Timer":
+        """Fold another timer's intervals into this one and return self.
+
+        Lets per-worker or per-stage timers be combined into one
+        aggregate before reporting, mirroring how span durations roll
+        up in :mod:`repro.obs.tracing`.
+        """
+        self.elapsed += other.elapsed
+        self.intervals += other.intervals
+        return self
 
 
 def timed(func: Callable[[], T]) -> tuple[T, float]:

@@ -6,13 +6,15 @@ available offline, the experiment ``main()``s render them as text:
 * :func:`loglog_scatter_text` — the log–log frequency scatters of
   Figures 1–2,
 * :func:`line_chart_text` — the CDF / sweep curves of Figures 3, 7, 8
-  and the timing lines of Figure 9.
+  and the timing lines of Figure 9,
+* :func:`span_flame_text` — the indented flame summary of a
+  :mod:`repro.obs.tracing` span tree.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Mapping
+from typing import Mapping, Sequence
 
 from repro.errors import EvaluationError
 
@@ -116,3 +118,45 @@ def line_chart_text(
 def sorted_series(values: Mapping[int, float]) -> dict[float, float]:
     """Coerce an int-keyed series into the chart's float mapping."""
     return {float(k): float(v) for k, v in sorted(values.items())}
+
+
+def span_flame_text(
+    spans: Sequence[Mapping[str, object]], width: int = 72
+) -> str:
+    """Render a span forest as an indented ASCII flame summary.
+
+    ``spans`` is the nested-dict form produced by
+    ``Tracer.to_dicts()``/``Span.to_dict()`` — each node carries
+    ``name``, ``duration_s``, optional ``status`` and ``children``.
+    Bars are proportional to each span's share of the total root
+    duration; error spans are flagged with ``!``.
+
+    ::
+
+        fit                         1.234s 100.0%  ##############
+          contexts                  0.301s  24.4%  ###
+          epoch                     0.450s  36.5%  #####
+            sgd                     0.445s  36.1%  #####
+    """
+    if not spans:
+        raise EvaluationError("need at least one span to render")
+    total = sum(float(s.get("duration_s", 0.0)) for s in spans) or 1.0
+    name_width = 30
+    bar_width = max(8, width - name_width - 18)
+    lines: list[str] = []
+
+    def emit(span: Mapping[str, object], depth: int) -> None:
+        duration = float(span.get("duration_s", 0.0))
+        share = duration / total
+        bar = "#" * max(1 if duration > 0 else 0, round(share * bar_width))
+        flag = "!" if span.get("status") == "error" else " "
+        label = ("  " * depth + str(span.get("name", "?")))[:name_width]
+        lines.append(
+            f"{label:<{name_width}}{duration:>9.3f}s {share:>6.1%}{flag} {bar}"
+        )
+        for child in span.get("children", ()):  # type: ignore[union-attr]
+            emit(child, depth + 1)
+
+    for root in spans:
+        emit(root, 0)
+    return "\n".join(lines)

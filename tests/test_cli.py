@@ -54,3 +54,44 @@ class TestMain:
         assert calls == [("small", 3)]
         out = capsys.readouterr().out
         assert "Table I" in out
+
+    def test_telemetry_flags_write_manifest_and_trace(
+        self, capsys, monkeypatch, tmp_path
+    ):
+        monkeypatch.setitem(
+            EXPERIMENTS,
+            "table1",
+            ("Table I — dataset statistics", lambda scale, seed: None),
+        )
+        metrics_out = tmp_path / "run.json"
+        trace_out = tmp_path / "trace.jsonl"
+        exit_code = main(
+            [
+                "table1",
+                "--metrics-out", str(metrics_out),
+                "--trace-out", str(trace_out),
+            ]
+        )
+        assert exit_code == 0
+        capsys.readouterr()
+
+        import json
+
+        manifest = json.loads(metrics_out.read_text())
+        assert manifest["name"] == "table1"
+        assert manifest["annotations"] == {"scale": "small", "seed": 0}
+        assert [s["name"] for s in manifest["spans"]] == ["experiment.table1"]
+        rows = [
+            json.loads(line) for line in trace_out.read_text().splitlines()
+        ]
+        assert rows[0]["name"] == "experiment.table1"
+
+    def test_no_telemetry_flags_no_files(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.setitem(
+            EXPERIMENTS,
+            "table1",
+            ("Table I — dataset statistics", lambda scale, seed: None),
+        )
+        assert main(["table1"]) == 0
+        capsys.readouterr()
+        assert list(tmp_path.iterdir()) == []

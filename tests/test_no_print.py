@@ -1,0 +1,19 @@
+"""Guard: library code never prints — see ``scripts/check_no_print.py``."""
+
+import sys
+from pathlib import Path
+
+SCRIPTS_DIR = Path(__file__).resolve().parents[1] / "scripts"
+
+
+def test_no_bare_print_calls():
+    sys.path.insert(0, str(SCRIPTS_DIR))
+    try:
+        from check_no_print import find_violations
+    finally:
+        sys.path.remove(str(SCRIPTS_DIR))
+    violations = find_violations()
+    assert not violations, (
+        "bare print() calls outside the rendering surfaces "
+        f"(use repro.utils.logging or repro.obs): {violations}"
+    )

@@ -31,3 +31,60 @@ class TestConfigureLogging:
     def test_null_handler_present_by_default(self):
         root = logging.getLogger(PACKAGE_LOGGER_NAME)
         assert any(isinstance(h, logging.NullHandler) for h in root.handlers)
+
+
+class TestLogEpochProgress:
+    def _capture(self, level):
+        import logging
+
+        from repro.utils.logging import get_logger
+
+        logger = get_logger("tests.epoch_progress")
+        logger.setLevel(level)
+        records = []
+
+        class _Collector(logging.Handler):
+            def emit(self, record):
+                records.append(record.getMessage())
+
+        handler = _Collector()
+        logger.addHandler(handler)
+        return logger, handler, records
+
+    def test_formats_loss_elapsed_and_extras(self):
+        import logging
+
+        from repro.utils.logging import log_epoch_progress
+
+        logger, handler, records = self._capture(logging.DEBUG)
+        try:
+            log_epoch_progress(
+                logger, 2, 10, loss=0.5, elapsed=1.25, lr="0.02"
+            )
+        finally:
+            logger.removeHandler(handler)
+        assert records == ["epoch 3/10: loss=0.500000 elapsed=1.25s lr=0.02"]
+
+    def test_silent_unless_debug_enabled(self):
+        import logging
+
+        from repro.utils.logging import log_epoch_progress
+
+        logger, handler, records = self._capture(logging.INFO)
+        try:
+            log_epoch_progress(logger, 0, 1, loss=1.0)
+        finally:
+            logger.removeHandler(handler)
+        assert records == []
+
+    def test_no_fields_reads_done(self):
+        import logging
+
+        from repro.utils.logging import log_epoch_progress
+
+        logger, handler, records = self._capture(logging.DEBUG)
+        try:
+            log_epoch_progress(logger, 0, 2)
+        finally:
+            logger.removeHandler(handler)
+        assert records == ["epoch 1/2: done"]

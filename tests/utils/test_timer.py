@@ -41,3 +41,25 @@ class TestTimed:
         result, seconds = timed(lambda: 41 + 1)
         assert result == 42
         assert seconds >= 0.0
+
+
+class TestMerge:
+    def test_merge_accumulates_both_fields(self):
+        a = Timer(elapsed=1.5, intervals=3)
+        b = Timer(elapsed=0.5, intervals=1)
+        assert a.merge(b) is a
+        assert a.elapsed == 2.0
+        assert a.intervals == 4
+        # The merged-in timer is untouched.
+        assert b.elapsed == 0.5
+        assert b.intervals == 1
+
+    def test_merge_preserves_mean_semantics(self):
+        a = Timer(elapsed=4.0, intervals=2)
+        a.merge(Timer(elapsed=2.0, intervals=2))
+        assert a.mean == 1.5
+
+    def test_merge_empty_is_identity(self):
+        a = Timer(elapsed=1.0, intervals=1)
+        a.merge(Timer())
+        assert (a.elapsed, a.intervals) == (1.0, 1)
