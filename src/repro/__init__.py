@@ -17,6 +17,7 @@ Quickstart
 >>> model.embedding.score(0, 1)  # x(0 -> 1)  # doctest: +SKIP
 """
 
+from repro.ckpt import CheckpointManager, TrainingState
 from repro.core.context import ContextConfig
 from repro.core.embeddings import InfluenceEmbedding
 from repro.core.inf2vec import Inf2vecConfig, Inf2vecModel
@@ -24,12 +25,15 @@ from repro.core.prediction import EmbeddingPredictor, ICPredictor
 from repro.data.actionlog import ActionLog, DiffusionEpisode
 from repro.data.graph import SocialGraph
 from repro.data.synthetic import SyntheticSocialDataset
-from repro.errors import ReproError
+from repro.errors import CheckpointError, ReproError
 from repro.obs import RunRecorder, recording
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "CheckpointManager",
+    "TrainingState",
+    "CheckpointError",
     "ContextConfig",
     "InfluenceEmbedding",
     "Inf2vecConfig",

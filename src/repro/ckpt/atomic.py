@@ -1,0 +1,127 @@
+"""Atomic file persistence: temp file + fsync + ``os.replace``.
+
+Every persistence path in this library (checkpoints, embedding and
+dataset archives, run manifests, span traces) writes through the
+helpers here so a crash — SIGKILL, power loss, a full disk raising
+mid-write — can never leave a partially written file at the final
+destination.  The contract:
+
+1. data is written to a temporary file *in the same directory* as the
+   destination (``os.replace`` is only atomic within a filesystem);
+2. the temp file is fsynced so the bytes are durable before the rename;
+3. ``os.replace`` atomically installs the temp file at the destination;
+4. the directory entry is fsynced (best effort) so the rename itself
+   survives a crash.
+
+On any failure the temp file is unlinked and the destination is left
+exactly as it was — either the previous complete version or absent.
+
+Temp names keep the destination's suffix (``.data.<rand>.tmp.npz``)
+because :func:`numpy.savez` silently appends ``.npz`` to paths that
+lack it, which would otherwise break the rename; they start with a dot
+so checkpoint discovery and ``*.npz`` globs never pick up an
+uncommitted file.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Iterator, Union
+
+PathLike = Union[str, Path]
+
+__all__ = [
+    "atomic_output",
+    "atomic_write_bytes",
+    "atomic_write_text",
+    "ensure_suffix",
+]
+
+
+def ensure_suffix(path: PathLike, suffix: str) -> Path:
+    """Append ``suffix`` unless ``path`` already ends with it.
+
+    Normalises the extension asymmetry around :func:`numpy.savez`,
+    which appends ``.npz`` to bare paths at save time while
+    :func:`numpy.load` does not at load time — both sides of a
+    round trip must agree on the final name.
+    """
+    path = Path(path)
+    if path.name.endswith(suffix):
+        return path
+    return path.with_name(path.name + suffix)
+
+
+def _fsync_path(path: Path) -> None:
+    """Flush a written file's bytes to stable storage."""
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def _fsync_dir(directory: Path) -> None:
+    """Best-effort fsync of a directory entry (not all OSes allow it)."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+@contextmanager
+def atomic_output(path: PathLike) -> Iterator[Path]:
+    """Yield a temp path that atomically becomes ``path`` on success.
+
+    Usage::
+
+        with atomic_output("run/model.npz") as tmp:
+            np.savez_compressed(tmp, **arrays)
+        # crash anywhere above: run/model.npz untouched
+
+    The parent directory is created if missing.  The yielded path lives
+    in the destination's directory and carries the destination's suffix;
+    write the complete payload to it inside the block.  On normal exit
+    the temp file is fsynced and renamed over ``path``; on exception it
+    is removed and the exception propagates.
+    """
+    final = Path(path)
+    directory = final.parent
+    directory.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=directory, prefix=f".{final.name}.", suffix=".tmp" + final.suffix
+    )
+    os.close(fd)
+    tmp = Path(tmp_name)
+    try:
+        yield tmp
+        _fsync_path(tmp)
+        os.replace(tmp, final)
+        _fsync_dir(directory)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+
+
+def atomic_write_bytes(path: PathLike, data: bytes) -> Path:
+    """Atomically write ``data`` to ``path``; returns the final path."""
+    final = Path(path)
+    with atomic_output(final) as tmp:
+        tmp.write_bytes(data)
+    return final
+
+
+def atomic_write_text(
+    path: PathLike, text: str, encoding: str = "utf-8"
+) -> Path:
+    """Atomically write ``text`` to ``path``; returns the final path."""
+    return atomic_write_bytes(path, text.encode(encoding))

@@ -1,0 +1,177 @@
+"""Checkpoint lifecycle: cadence, retention, and latest-valid discovery.
+
+:class:`CheckpointManager` owns one checkpoint directory.  The training
+loop calls :meth:`CheckpointManager.maybe_save` at every epoch end; the
+manager decides whether the cadence fires, writes the state atomically
+(``ckpt-<epoch>.npz``), prunes beyond the retention budget, and records
+checkpoint telemetry (count, bytes, write latency) into the metrics
+registry it is handed.
+
+Discovery is defensive: :meth:`CheckpointManager.latest_state` walks the
+directory newest-first and *skips* truncated or corrupt files (each with
+a logged warning) instead of dying on the first bad one — exactly the
+behaviour a crash-recovery path needs, since the file being written at
+the moment of the crash is the likeliest casualty.
+"""
+
+from __future__ import annotations
+
+import re
+import time
+from pathlib import Path
+from typing import Union
+
+from repro.ckpt.state import TrainingState
+from repro.errors import CheckpointError
+from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
+from repro.utils.logging import get_logger
+from repro.utils.validation import check_positive_int
+
+PathLike = Union[str, Path]
+
+__all__ = ["CheckpointManager", "CKPT_WRITE_LATENCY_BUCKETS"]
+
+logger = get_logger("ckpt.manager")
+
+#: Write-latency histogram edges (seconds): checkpoints are small npz
+#: archives, so sub-millisecond to a few seconds brackets every scale.
+CKPT_WRITE_LATENCY_BUCKETS = (0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0)
+
+_CKPT_PATTERN = re.compile(r"^ckpt-(\d{8})\.npz$")
+
+
+class CheckpointManager:
+    """Every-N-epochs checkpointing with last-K retention for one directory.
+
+    Parameters
+    ----------
+    directory:
+        Where checkpoints live; created if missing.
+    every:
+        Cadence — save after every ``every``-th completed epoch (the
+        training loop additionally forces a save at the final epoch and
+        on early convergence).
+    keep:
+        Retention — after each save, only the ``keep`` newest
+        checkpoints (by epoch) are kept on disk.
+    """
+
+    def __init__(self, directory: PathLike, every: int = 1, keep: int = 3):
+        self.every = check_positive_int("every", every)
+        self.keep = check_positive_int("keep", keep)
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # Saving
+    # ------------------------------------------------------------------
+
+    def path_for_epoch(self, epoch: int) -> Path:
+        """The canonical checkpoint path for ``epoch``."""
+        return self.directory / f"ckpt-{epoch:08d}.npz"
+
+    def maybe_save(
+        self,
+        model: object,
+        epoch: int,
+        entry_rng_state: dict | None = None,
+        metrics: MetricsRegistry = NULL_REGISTRY,
+        force: bool = False,
+    ) -> Path | None:
+        """Save at the configured cadence; returns the path or ``None``.
+
+        ``force`` bypasses the cadence (used for the final epoch and for
+        early-convergence exits, so the terminal state is always on
+        disk).
+        """
+        if not force and (epoch + 1) % self.every != 0:
+            return None
+        return self.save(
+            model, epoch, entry_rng_state=entry_rng_state, metrics=metrics
+        )
+
+    def save(
+        self,
+        model: object,
+        epoch: int,
+        entry_rng_state: dict | None = None,
+        metrics: MetricsRegistry = NULL_REGISTRY,
+    ) -> Path:
+        """Capture, atomically write, prune, and record one checkpoint."""
+        state = TrainingState.capture(
+            model, epoch, entry_rng_state=entry_rng_state
+        )
+        path = self.path_for_epoch(epoch)
+        started = time.perf_counter()
+        path = state.save(path)
+        elapsed = time.perf_counter() - started
+        size = path.stat().st_size
+        if metrics.enabled:
+            metrics.counter("ckpt.saves", "checkpoints written").inc()
+            metrics.counter(
+                "ckpt.bytes_written", "total checkpoint bytes written"
+            ).inc(size)
+            metrics.histogram(
+                "ckpt.write_seconds",
+                CKPT_WRITE_LATENCY_BUCKETS,
+                "atomic checkpoint write latency",
+            ).observe(elapsed)
+        logger.debug(
+            "checkpoint epoch %d -> %s (%d bytes, %.3fs)",
+            epoch, path, size, elapsed,
+        )
+        self._prune(metrics)
+        return path
+
+    def _prune(self, metrics: MetricsRegistry = NULL_REGISTRY) -> None:
+        """Delete all but the ``keep`` newest checkpoints."""
+        paths = self.checkpoint_paths()
+        for path in paths[: -self.keep]:
+            path.unlink(missing_ok=True)
+            logger.debug("pruned checkpoint %s", path)
+            if metrics.enabled:
+                metrics.counter(
+                    "ckpt.pruned", "checkpoints removed by retention"
+                ).inc()
+
+    # ------------------------------------------------------------------
+    # Discovery
+    # ------------------------------------------------------------------
+
+    def checkpoint_paths(self) -> list[Path]:
+        """Managed checkpoint files, sorted by epoch ascending.
+
+        Only committed files match (``ckpt-NNNNNNNN.npz``); in-flight
+        atomic temp files are hidden dotfiles and never listed.
+        """
+        found = []
+        for path in self.directory.iterdir():
+            match = _CKPT_PATTERN.match(path.name)
+            if match:
+                found.append((int(match.group(1)), path))
+        return [path for _epoch, path in sorted(found)]
+
+    def latest_path(self) -> Path | None:
+        """Newest checkpoint file by epoch, without validating it."""
+        paths = self.checkpoint_paths()
+        return paths[-1] if paths else None
+
+    def latest_state(self) -> TrainingState | None:
+        """Load the newest checkpoint that validates.
+
+        Corrupt or truncated files (e.g. a pre-atomic-era leftover, or
+        bit rot) are skipped with a warning; ``None`` means no usable
+        checkpoint exists.
+        """
+        for path in reversed(self.checkpoint_paths()):
+            try:
+                return TrainingState.load(path)
+            except CheckpointError as exc:
+                logger.warning("skipping unusable checkpoint %s: %s", path, exc)
+        return None
+
+    def __repr__(self) -> str:
+        return (
+            f"CheckpointManager({str(self.directory)!r}, "
+            f"every={self.every}, keep={self.keep})"
+        )

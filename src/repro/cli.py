@@ -11,6 +11,16 @@ corresponding table/figure, e.g.::
 reproduction.  ``--metrics-out`` / ``--trace-out`` turn on the
 ``repro.obs`` telemetry for the whole invocation and write the run
 manifest / span trace afterwards.
+
+The ``train`` command runs one crash-safe Inf2vec training job with
+checkpointing::
+
+    python -m repro.cli train --epochs 20 --checkpoint-dir run/ckpt \
+        --checkpoint-every 5 --out run/embedding.npz
+
+After an interruption (SIGKILL, OOM, power loss), re-running the same
+command with ``--resume`` continues from the latest valid checkpoint to
+the same final embeddings an uninterrupted run would have produced.
 """
 
 from __future__ import annotations
@@ -20,6 +30,7 @@ import sys
 from contextlib import nullcontext
 from typing import Callable, Mapping
 
+from repro.ckpt import CheckpointManager
 from repro.obs import RunRecorder, recording
 from repro.experiments import (
     fig1_2_powerlaw,
@@ -61,11 +72,14 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Reproduce the tables and figures of Inf2vec (ICDE 2018).",
     )
-    choices = list(EXPERIMENTS) + ["all"]
+    choices = list(EXPERIMENTS) + ["all", "train"]
     parser.add_argument(
         "experiment",
         choices=choices,
-        help="which table/figure to regenerate ('all' runs everything)",
+        help=(
+            "which table/figure to regenerate ('all' runs everything; "
+            "'train' runs one checkpointed training job)"
+        ),
     )
     parser.add_argument(
         "--scale",
@@ -89,7 +103,110 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="record telemetry and write the span trace JSONL here",
     )
+
+    training = parser.add_argument_group(
+        "training options (train command only)"
+    )
+    training.add_argument(
+        "--epochs", type=int, default=10, help="training epochs (default: 10)"
+    )
+    training.add_argument(
+        "--dim", type=int, default=16, help="embedding dimension (default: 16)"
+    )
+    training.add_argument(
+        "--num-users",
+        type=int,
+        default=200,
+        help="synthetic dataset size (default: 200; ignored with --dataset)",
+    )
+    training.add_argument(
+        "--num-items",
+        type=int,
+        default=40,
+        help="synthetic item count (default: 40; ignored with --dataset)",
+    )
+    training.add_argument(
+        "--dataset",
+        metavar="PATH",
+        help="train on a dataset archive written by save_dataset() "
+        "instead of generating a synthetic one",
+    )
+    training.add_argument(
+        "--out",
+        metavar="PATH",
+        help="write the final embedding .npz here",
+    )
+    training.add_argument(
+        "--checkpoint-dir",
+        metavar="DIR",
+        help="checkpoint training state into this directory",
+    )
+    training.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=1,
+        metavar="N",
+        help="checkpoint cadence in epochs (default: 1)",
+    )
+    training.add_argument(
+        "--checkpoint-keep",
+        type=int,
+        default=3,
+        metavar="K",
+        help="retain the K newest checkpoints (default: 3)",
+    )
+    training.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume from the latest valid checkpoint in --checkpoint-dir",
+    )
     return parser
+
+
+def _run_training(args: argparse.Namespace) -> int:
+    """The ``train`` command: one checkpointed training job."""
+    from repro.core.inf2vec import Inf2vecConfig, Inf2vecModel
+    from repro.data.serialization import load_dataset
+    from repro.data.synthetic import SyntheticSocialDataset
+
+    if args.dataset:
+        dataset = load_dataset(args.dataset)
+    else:
+        dataset = SyntheticSocialDataset.digg_like(
+            num_users=args.num_users, num_items=args.num_items, seed=args.seed
+        )
+    manager = None
+    if args.checkpoint_dir:
+        manager = CheckpointManager(
+            args.checkpoint_dir,
+            every=args.checkpoint_every,
+            keep=args.checkpoint_keep,
+        )
+        if args.resume:
+            state = manager.latest_state()
+            if state is None:
+                print(
+                    f"no usable checkpoint in {args.checkpoint_dir}; "
+                    "starting fresh"
+                )
+            else:
+                print(f"resuming from checkpoint at epoch {state.epoch}")
+    config = Inf2vecConfig(dim=args.dim, epochs=args.epochs)
+    model = Inf2vecModel(config, seed=args.seed)
+    model.fit(dataset.graph, dataset.log, checkpoint=manager, resume=args.resume)
+    losses = model.loss_history
+    if losses:
+        print(
+            f"trained dim={args.dim} over {len(losses)} epochs "
+            f"on {dataset.graph.num_nodes} users; "
+            f"final loss {losses[-1]:.6f}"
+        )
+    else:
+        print("trained (no epochs ran)")
+    if args.out:
+        model.embedding.save(args.out)
+        print(f"embedding written to {args.out}")
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -102,6 +219,9 @@ def main(argv: list[str] | None = None) -> int:
             print(f"{name:<10} {description}")
         return 0
 
+    if args.resume and not args.checkpoint_dir:
+        parser.error("--resume requires --checkpoint-dir")
+
     if args.experiment == "all":
         names = list(EXPERIMENTS)
     else:
@@ -111,6 +231,12 @@ def main(argv: list[str] | None = None) -> int:
     run = RunRecorder(name=args.experiment) if telemetry else None
     if run is not None:
         run.annotate(scale=args.scale, seed=args.seed)
+
+    if args.experiment == "train":
+        with recording(run) if run is not None else nullcontext():
+            exit_code = _run_training(args)
+        _write_telemetry(run, args)
+        return exit_code
 
     with recording(run) if run is not None else nullcontext():
         for name in names:
@@ -125,14 +251,20 @@ def main(argv: list[str] | None = None) -> int:
                 runner(args.scale, args.seed)
             print()
 
-    if run is not None:
-        if args.metrics_out:
-            run.write(args.metrics_out)
-            print(f"run manifest written to {args.metrics_out}")
-        if args.trace_out:
-            run.write_trace(args.trace_out)
-            print(f"span trace written to {args.trace_out}")
+    _write_telemetry(run, args)
     return 0
+
+
+def _write_telemetry(run: RunRecorder | None, args: argparse.Namespace) -> None:
+    """Write the manifest/trace files when telemetry was requested."""
+    if run is None:
+        return
+    if args.metrics_out:
+        run.write(args.metrics_out)
+        print(f"run manifest written to {args.metrics_out}")
+    if args.trace_out:
+        run.write_trace(args.trace_out)
+        print(f"span trace written to {args.trace_out}")
 
 
 if __name__ == "__main__":

@@ -25,6 +25,7 @@ from typing import Sequence, Union
 
 import numpy as np
 
+from repro.ckpt.atomic import atomic_output, ensure_suffix
 from repro.errors import TrainingError
 from repro.utils.rng import SeedLike, ensure_rng
 from repro.utils.validation import check_positive_int
@@ -157,20 +158,34 @@ class InfluenceEmbedding:
     # Persistence
     # ------------------------------------------------------------------
 
-    def save(self, path: Union[str, Path]) -> None:
-        """Persist all four parameter arrays to an ``.npz`` file."""
-        np.savez_compressed(
-            Path(path),
-            source=self.source,
-            target=self.target,
-            source_bias=self.source_bias,
-            target_bias=self.target_bias,
-        )
+    def save(self, path: Union[str, Path]) -> Path:
+        """Atomically persist all four parameter arrays to an ``.npz`` file.
+
+        A missing ``.npz`` suffix is appended explicitly (numpy would
+        append it silently, which used to break ``load`` on the same
+        bare path); the final path is returned.  The write goes through
+        :func:`repro.ckpt.atomic.atomic_output`, so an interrupted save
+        never leaves a truncated archive at the destination.
+        """
+        final = ensure_suffix(path, ".npz")
+        with atomic_output(final) as tmp:
+            np.savez_compressed(
+                tmp,
+                source=self.source,
+                target=self.target,
+                source_bias=self.source_bias,
+                target_bias=self.target_bias,
+            )
+        return final
 
     @classmethod
     def load(cls, path: Union[str, Path]) -> "InfluenceEmbedding":
-        """Load parameters previously written by :meth:`save`."""
-        with np.load(Path(path)) as data:
+        """Load parameters previously written by :meth:`save`.
+
+        Accepts the same path spelling as :meth:`save` — with or
+        without the ``.npz`` suffix.
+        """
+        with np.load(ensure_suffix(path, ".npz")) as data:
             return cls(
                 source=data["source"],
                 target=data["target"],

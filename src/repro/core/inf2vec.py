@@ -32,9 +32,10 @@ benchmarks and equivalence tests.
 
 from __future__ import annotations
 
+import copy
 import time
 from dataclasses import dataclass, field
-from typing import Literal, Sequence
+from typing import TYPE_CHECKING, Literal, Sequence
 
 import numpy as np
 from scipy import sparse
@@ -45,9 +46,13 @@ from repro.core.embeddings import InfluenceEmbedding
 from repro.core.negative import NegativeSampler
 from repro.data.actionlog import ActionLog
 from repro.data.graph import SocialGraph
-from repro.errors import NotFittedError, TrainingError
+from repro.errors import CheckpointError, NotFittedError, TrainingError
 from repro.obs.metrics import NULL_REGISTRY
-from repro.obs.run import NULL_RUN, RunRecorder, active_run
+from repro.obs.run import NULL_RUN, RunRecorder, active_run, config_fingerprint
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only (avoids an import cycle)
+    from repro.ckpt.manager import CheckpointManager
+    from repro.ckpt.state import TrainingState
 from repro.utils.logging import get_logger, log_epoch_progress
 from repro.utils.rng import SeedLike, ensure_rng
 from repro.utils.validation import check_positive, check_positive_int
@@ -261,7 +266,13 @@ class Inf2vecModel:
     # Fitting
     # ------------------------------------------------------------------
 
-    def fit(self, graph: SocialGraph, log: ActionLog) -> "Inf2vecModel":
+    def fit(
+        self,
+        graph: SocialGraph,
+        log: ActionLog,
+        checkpoint: "CheckpointManager | None" = None,
+        resume: bool = False,
+    ) -> "Inf2vecModel":
         """Run Algorithm 2 end to end and return ``self``.
 
         Parameters
@@ -270,7 +281,19 @@ class Inf2vecModel:
             The social network ``G``.
         log:
             Training action log ``A`` (typically the 80% episode split).
+        checkpoint:
+            Optional :class:`repro.ckpt.CheckpointManager`; when given,
+            training state is saved atomically at the manager's cadence
+            (and always at the final epoch and on early convergence).
+        resume:
+            Continue from the manager's latest valid checkpoint instead
+            of starting fresh.  The checkpoint's config fingerprint must
+            match this model's config; the resumed run replays the
+            original RNG stream, so its final parameters are
+            bitwise-identical to an uninterrupted run's.  With no
+            usable checkpoint on disk, training starts from scratch.
         """
+        state = self._resume_state(checkpoint, resume)
         run = self._resolve_obs(fresh=True)
         with run.span("fit", engine=self.config.engine):
             self._record_run_header(
@@ -279,6 +302,14 @@ class Inf2vecModel:
                 num_edges=graph.num_edges,
                 num_episodes=len(log),
             )
+            if state is not None:
+                # Rewind to the original fit's entry state so context
+                # generation reproduces the exact corpus the
+                # interrupted run trained on.
+                self._rng.bit_generator.state = copy.deepcopy(
+                    state.entry_rng_state
+                )
+            entry_rng_state = copy.deepcopy(self._rng.bit_generator.state)
             generator = ContextGenerator(
                 graph,
                 self.config.context,
@@ -302,6 +333,9 @@ class Inf2vecModel:
                 ),
                 log=log,
                 run=run,
+                checkpoint=checkpoint,
+                entry_rng_state=entry_rng_state,
+                resume_state=state,
             )
 
     def fit_contexts(
@@ -310,6 +344,8 @@ class Inf2vecModel:
         num_users: int,
         generator: ContextGenerator | None = None,
         log: ActionLog | None = None,
+        checkpoint: "CheckpointManager | None" = None,
+        resume: bool = False,
     ) -> "Inf2vecModel":
         """Learn representations from a pre-generated corpus ``P``.
 
@@ -326,16 +362,74 @@ class Inf2vecModel:
         generator, log:
             Only needed when ``config.regenerate_contexts`` is set; the
             corpus is regenerated from them each epoch.
+        checkpoint, resume:
+            Same contract as :meth:`fit`.  Bitwise-identical resume
+            additionally requires the caller to pass the same
+            pre-generated corpus.
         """
+        state = self._resume_state(checkpoint, resume)
         run = self._resolve_obs(fresh=True)
         with run.span("fit", engine=self.config.engine):
             self._record_run_header(
                 run, num_users=num_users, num_contexts=len(corpus)
             )
+            if state is not None:
+                self._rng.bit_generator.state = copy.deepcopy(
+                    state.entry_rng_state
+                )
+            entry_rng_state = copy.deepcopy(self._rng.bit_generator.state)
             return self._fit_loop(
                 corpus, num_users=num_users, generator=generator, log=log,
-                run=run,
+                run=run, checkpoint=checkpoint,
+                entry_rng_state=entry_rng_state, resume_state=state,
             )
+
+    def _resume_state(
+        self, checkpoint: "CheckpointManager | None", resume: bool
+    ) -> "TrainingState | None":
+        """Resolve the checkpoint to resume from (``None`` = fresh start)."""
+        if not resume:
+            return None
+        if checkpoint is None:
+            raise TrainingError("resume=True requires a checkpoint manager")
+        state = checkpoint.latest_state()
+        if state is None:
+            logger.info(
+                "no usable checkpoint under %s; starting fresh",
+                checkpoint.directory,
+            )
+            return None
+        _, fingerprint = config_fingerprint(self.config)
+        if state.config_fingerprint != fingerprint:
+            raise CheckpointError(
+                f"checkpoint fingerprint {state.config_fingerprint} does not "
+                f"match this config's {fingerprint}; resume requires the "
+                "identical hyper-parameter configuration"
+            )
+        logger.info(
+            "resuming from checkpoint at epoch %d (%s)",
+            state.epoch,
+            checkpoint.directory,
+        )
+        return state
+
+    def _restore_state(self, state: "TrainingState", num_users: int) -> None:
+        """Install a checkpoint's parameters, history, and RNG stream."""
+        if state.source.shape != (num_users, self.config.dim):
+            raise CheckpointError(
+                f"checkpoint holds a ({state.num_users}, {state.dim}) "
+                f"embedding but this fit needs ({num_users}, "
+                f"{self.config.dim})"
+            )
+        self._embedding = state.to_embedding()
+        self._loss_history = [float(x) for x in state.loss_history]
+        try:
+            self._rng.bit_generator.state = copy.deepcopy(state.rng_state)
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CheckpointError(
+                f"checkpoint RNG state is incompatible with this model's "
+                f"bit generator: {exc}"
+            ) from exc
 
     def _fit_loop(
         self,
@@ -344,17 +438,31 @@ class Inf2vecModel:
         generator: ContextGenerator | None,
         log: ActionLog | None,
         run: RunRecorder,
+        checkpoint: "CheckpointManager | None" = None,
+        entry_rng_state: dict | None = None,
+        resume_state: "TrainingState | None" = None,
     ) -> "Inf2vecModel":
         """The epoch loop shared by :meth:`fit` and :meth:`fit_contexts`."""
         num_users = check_positive_int("num_users", num_users)
-        self._embedding = InfluenceEmbedding.initialize(
-            num_users, self.config.dim, self._rng
-        )
+        if resume_state is not None:
+            self._restore_state(resume_state, num_users)
+            start_epoch = resume_state.epoch + 1
+            if run.metrics.enabled:
+                run.metrics.counter(
+                    "ckpt.resumes", "training runs resumed from a checkpoint"
+                ).inc()
+        else:
+            self._embedding = InfluenceEmbedding.initialize(
+                num_users, self.config.dim, self._rng
+            )
+            self._loss_history = []
+            start_epoch = 0
         sampler = self._build_sampler(corpus, num_users)
-        self._loss_history = []
         corpus = list(corpus)
-        previous_loss = np.inf
-        for epoch in range(self.config.epochs):
+        previous_loss = (
+            self._loss_history[-1] if self._loss_history else np.inf
+        )
+        for epoch in range(start_epoch, self.config.epochs):
             # Regenerate the corpus at the top of every epoch after the
             # first (not after the last, which would waste a generation
             # pass whose output nobody trains on).
@@ -378,6 +486,17 @@ class Inf2vecModel:
                     corpus, started,
                 )
             self._loss_history.append(loss)
+            converged = self._converged(previous_loss, loss)
+            if checkpoint is not None:
+                # Epoch-end hook: force a save at terminal epochs so the
+                # state that fit() returns is always recoverable.
+                checkpoint.maybe_save(
+                    self,
+                    epoch,
+                    entry_rng_state=entry_rng_state,
+                    metrics=run.metrics,
+                    force=converged or epoch == self.config.epochs - 1,
+                )
             log_epoch_progress(
                 logger,
                 epoch,
@@ -386,7 +505,7 @@ class Inf2vecModel:
                 elapsed=time.perf_counter() - started,
                 lr=f"{learning_rate:.4g}",
             )
-            if self._converged(previous_loss, loss):
+            if converged:
                 logger.info("converged after %d epochs", epoch + 1)
                 break
             previous_loss = loss
@@ -435,6 +554,7 @@ class Inf2vecModel:
         graph: SocialGraph,
         new_log: ActionLog,
         epochs: int | None = None,
+        checkpoint: "CheckpointManager | None" = None,
     ) -> "Inf2vecModel":
         """Incrementally update a fitted model with new episodes.
 
@@ -454,6 +574,12 @@ class Inf2vecModel:
             Passes over the new contexts (defaults to the configured
             epoch budget).  ``0`` is an explicit no-op — the fitted
             parameters are left untouched; negative values raise.
+        checkpoint:
+            Optional :class:`repro.ckpt.CheckpointManager`; the
+            incremental epochs checkpoint at its cadence under the
+            cumulative epoch counter (``len(loss_history) - 1``), so
+            streaming updates extend the same checkpoint series the
+            original :meth:`fit` produced.
         """
         if self._embedding is None:
             raise NotFittedError(
@@ -471,6 +597,7 @@ class Inf2vecModel:
             return self
         run = self._resolve_obs()
         with run.span("partial_fit", engine=self.config.engine):
+            entry_rng_state = copy.deepcopy(self._rng.bit_generator.state)
             generator = ContextGenerator(
                 graph,
                 self.config.context,
@@ -495,6 +622,14 @@ class Inf2vecModel:
                         run, epoch_span, epoch, loss, final_lr, corpus, started
                     )
                 self._loss_history.append(loss)
+                if checkpoint is not None:
+                    checkpoint.maybe_save(
+                        self,
+                        len(self._loss_history) - 1,
+                        entry_rng_state=entry_rng_state,
+                        metrics=run.metrics,
+                        force=epoch == budget - 1,
+                    )
         return self
 
     def train_epoch(
@@ -882,6 +1017,11 @@ class Inf2vecModel:
     def is_fitted(self) -> bool:
         """Whether :meth:`fit` (or :meth:`fit_contexts`) has run."""
         return self._embedding is not None
+
+    @property
+    def rng(self) -> np.random.Generator:
+        """The model's RNG stream (checkpoints capture its bit-state)."""
+        return self._rng
 
     @property
     def loss_history(self) -> list[float]:

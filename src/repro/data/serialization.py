@@ -7,6 +7,12 @@ exact data that produced them.
 
 Format: a single ``.npz`` archive holding the graph's edge array, the
 action log as flat arrays, the planted parameters, and a version tag.
+Writes are atomic (see :mod:`repro.ckpt.atomic`), and
+:func:`load_dataset` validates what it reads — edge endpoints inside
+the user universe, aligned log arrays, edge-probability shape — so a
+corrupt or hand-edited archive fails immediately with a
+:class:`~repro.errors.DataGenerationError` instead of surfacing later
+as a cryptic numpy index error.
 """
 
 from __future__ import annotations
@@ -16,6 +22,7 @@ from typing import Union
 
 import numpy as np
 
+from repro.ckpt.atomic import atomic_output, ensure_suffix
 from repro.data.actionlog import ActionLog
 from repro.data.graph import SocialGraph
 from repro.data.synthetic import (
@@ -30,6 +37,21 @@ from repro.errors import DataGenerationError
 PathLike = Union[str, Path]
 
 _FORMAT_VERSION = 1
+
+_REQUIRED_KEYS = (
+    "format_version",
+    "name",
+    "num_users",
+    "edges",
+    "log_users",
+    "log_items",
+    "log_times",
+    "influence_ability",
+    "conformity",
+    "edge_probabilities",
+    "user_interests",
+    "item_topics",
+)
 
 
 def _log_to_arrays(log: ActionLog) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
@@ -47,40 +69,116 @@ def _log_to_arrays(log: ActionLog) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     )
 
 
-def save_dataset(dataset: SyntheticSocialDataset, path: PathLike) -> None:
-    """Persist a synthetic dataset (graph, log, planted truth) to ``.npz``."""
+def save_dataset(dataset: SyntheticSocialDataset, path: PathLike) -> Path:
+    """Atomically persist a synthetic dataset to ``.npz``.
+
+    The ``.npz`` suffix is appended when missing (matching what
+    :func:`load_dataset` will look for) and the final path is returned.
+    An interrupted save never leaves a truncated archive behind.
+    """
     users, items, times = _log_to_arrays(dataset.log)
-    np.savez_compressed(
-        Path(path),
-        format_version=np.int64(_FORMAT_VERSION),
-        name=np.bytes_(dataset.name.encode("utf-8")),
-        num_users=np.int64(dataset.graph.num_nodes),
-        edges=dataset.graph.edge_array(),
-        log_users=users,
-        log_items=items,
-        log_times=times,
-        influence_ability=dataset.planted.influence_ability,
-        conformity=dataset.planted.conformity,
-        edge_probabilities=dataset.planted.edge_probabilities.values,
-        user_interests=dataset.planted.user_interests,
-        item_topics=dataset.planted.item_topics,
-    )
+    final = ensure_suffix(path, ".npz")
+    with atomic_output(final) as tmp:
+        np.savez_compressed(
+            tmp,
+            format_version=np.int64(_FORMAT_VERSION),
+            name=np.bytes_(dataset.name.encode("utf-8")),
+            num_users=np.int64(dataset.graph.num_nodes),
+            edges=dataset.graph.edge_array(),
+            log_users=users,
+            log_items=items,
+            log_times=times,
+            influence_ability=dataset.planted.influence_ability,
+            conformity=dataset.planted.conformity,
+            edge_probabilities=dataset.planted.edge_probabilities.values,
+            user_interests=dataset.planted.user_interests,
+            item_topics=dataset.planted.item_topics,
+        )
+    return final
+
+
+def _validate_archive(data: np.lib.npyio.NpzFile, path: Path) -> None:
+    """Structural checks on a loaded archive (version checked separately)."""
+    missing = [key for key in _REQUIRED_KEYS if key not in data.files]
+    if missing:
+        raise DataGenerationError(
+            f"dataset archive {path} is missing fields {missing}"
+        )
+    num_users = int(data["num_users"])
+    if num_users < 0:
+        raise DataGenerationError(
+            f"dataset archive {path} declares negative num_users {num_users}"
+        )
+    edges = np.asarray(data["edges"])
+    if edges.size and (edges.ndim != 2 or edges.shape[1] != 2):
+        raise DataGenerationError(
+            f"dataset archive {path} has a malformed edge array of shape "
+            f"{edges.shape} (expected (num_edges, 2))"
+        )
+    if edges.size and (edges.min() < 0 or edges.max() >= num_users):
+        raise DataGenerationError(
+            f"dataset archive {path} has edge endpoints outside "
+            f"[0, {num_users})"
+        )
+    log_users = np.asarray(data["log_users"])
+    log_items = np.asarray(data["log_items"])
+    log_times = np.asarray(data["log_times"])
+    if not (log_users.shape == log_items.shape == log_times.shape):
+        raise DataGenerationError(
+            f"dataset archive {path} has misaligned log arrays: "
+            f"{log_users.shape} users, {log_items.shape} items, "
+            f"{log_times.shape} times"
+        )
+    if log_users.size and (log_users.min() < 0 or log_users.max() >= num_users):
+        raise DataGenerationError(
+            f"dataset archive {path} references log users outside "
+            f"[0, {num_users})"
+        )
+    num_edges = edges.shape[0] if edges.size else 0
+    probabilities = np.asarray(data["edge_probabilities"])
+    if probabilities.shape != (num_edges,):
+        raise DataGenerationError(
+            f"dataset archive {path} has edge probabilities of shape "
+            f"{probabilities.shape} for {num_edges} edges"
+        )
 
 
 def load_dataset(path: PathLike) -> SyntheticSocialDataset:
-    """Load a dataset previously written by :func:`save_dataset`.
+    """Load and validate a dataset previously written by :func:`save_dataset`.
 
     The returned object carries the default configs (the generation
     parameters are not round-tripped; the generated *data* is what
     experiments consume).
+
+    Raises
+    ------
+    DataGenerationError
+        If the archive is unreadable, carries a foreign format version,
+        or fails structural validation (edge endpoints outside
+        ``[0, num_users)``, misaligned log arrays, edge-probability
+        shape not matching the edge array).
     """
-    with np.load(Path(path)) as data:
+    final = ensure_suffix(path, ".npz")
+    try:
+        archive = np.load(final)
+    except FileNotFoundError:
+        raise
+    except Exception as exc:  # truncated/not-a-zip/bad header
+        raise DataGenerationError(
+            f"cannot read dataset archive {final}: {exc}"
+        ) from exc
+    with archive as data:
+        if "format_version" not in data.files:
+            raise DataGenerationError(
+                f"dataset archive {final} has no format_version tag"
+            )
         version = int(data["format_version"])
         if version != _FORMAT_VERSION:
             raise DataGenerationError(
                 f"unsupported dataset format version {version} "
                 f"(this library writes version {_FORMAT_VERSION})"
             )
+        _validate_archive(data, final)
         num_users = int(data["num_users"])
         graph = SocialGraph(num_users, data["edges"])
         log = ActionLog.from_tuples(

@@ -53,5 +53,16 @@ class DataGenerationError(ReproError):
     """Raised when a synthetic dataset request is infeasible.
 
     Examples include asking for more edges than a simple directed graph
-    of the requested size can hold.
+    of the requested size can hold, or loading a dataset archive whose
+    contents fail structural validation.
+    """
+
+
+class CheckpointError(ReproError):
+    """Raised for unusable training checkpoints.
+
+    Examples include truncated or otherwise corrupt checkpoint files,
+    an unsupported checkpoint format version, or resuming with a config
+    whose fingerprint differs from the one the checkpoint was written
+    under.
     """

@@ -35,6 +35,7 @@ from contextlib import contextmanager
 from pathlib import Path
 from typing import Iterator, Mapping
 
+from repro.ckpt.atomic import atomic_write_text
 from repro.obs.metrics import MetricsRegistry, NULL_REGISTRY
 from repro.obs.tracing import Tracer, NULL_TRACER
 
@@ -135,10 +136,15 @@ class RunRecorder:
         }
 
     def write(self, path: str | Path) -> Path:
-        """Serialise :meth:`manifest` to ``path`` and return it."""
-        path = Path(path)
-        path.write_text(json.dumps(self.manifest(), indent=2, default=str) + "\n")
-        return path
+        """Atomically serialise :meth:`manifest` to ``path`` and return it.
+
+        A killed run can therefore never leave a half-written manifest
+        that poisons later tooling: either the previous complete file
+        survives or the new complete one is installed.
+        """
+        return atomic_write_text(
+            path, json.dumps(self.manifest(), indent=2, default=str) + "\n"
+        )
 
     def write_trace(self, path: str | Path) -> Path:
         """Write the span forest as JSONL (see ``Tracer.write_jsonl``)."""

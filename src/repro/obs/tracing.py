@@ -34,6 +34,8 @@ from typing import Iterator
 
 from contextlib import contextmanager
 
+from repro.ckpt.atomic import atomic_write_text
+
 __all__ = ["Span", "Tracer", "NullTracer", "NULL_TRACER"]
 
 
@@ -168,7 +170,9 @@ class Tracer:
 
         Each line carries ``name``, the ``/``-joined ancestor ``path``,
         ``depth``, timing, status, and attributes — a flat file any log
-        pipeline can ingest without understanding the nesting.
+        pipeline can ingest without understanding the nesting.  The
+        file is written atomically, so an interrupted export never
+        leaves a torn JSONL behind.
         """
         path = Path(path)
         lines = []
@@ -195,8 +199,9 @@ class Tracer:
                 )
             )
             stack.extend((child, breadcrumb) for child in span.children[::-1])
-        path.write_text("\n".join(lines) + ("\n" if lines else ""))
-        return path
+        return atomic_write_text(
+            path, "\n".join(lines) + ("\n" if lines else "")
+        )
 
     def flame_text(self, width: int = 72) -> str:
         """ASCII flame summary of the forest (via :mod:`repro.viz.ascii`)."""

@@ -1,0 +1,127 @@
+"""Unit tests for checkpoint cadence, retention, and discovery."""
+
+import numpy as np
+import pytest
+
+from repro.ckpt import CheckpointManager, TrainingState
+from repro.core.inf2vec import Inf2vecConfig, Inf2vecModel
+from repro.data.actionlog import ActionLog, DiffusionEpisode
+from repro.data.graph import SocialGraph
+from repro.obs.metrics import MetricsRegistry
+
+
+@pytest.fixture()
+def fitted_model() -> Inf2vecModel:
+    graph = SocialGraph(5, [(0, 1), (1, 2), (2, 3), (3, 4)])
+    log = ActionLog(
+        [DiffusionEpisode(0, [(0, 1.0), (1, 2.0), (2, 3.0)])], num_users=5
+    )
+    model = Inf2vecModel(Inf2vecConfig(dim=4, epochs=2), seed=3)
+    return model.fit(graph, log)
+
+
+class TestCadence:
+    def test_skips_off_cadence_epochs(self, fitted_model, tmp_path):
+        manager = CheckpointManager(tmp_path, every=3)
+        assert manager.maybe_save(fitted_model, epoch=0) is None
+        assert manager.maybe_save(fitted_model, epoch=1) is None
+
+    def test_fires_on_cadence(self, fitted_model, tmp_path):
+        manager = CheckpointManager(tmp_path, every=2)
+        path = manager.maybe_save(fitted_model, epoch=1)
+        assert path is not None and path.exists()
+
+    def test_force_bypasses_cadence(self, fitted_model, tmp_path):
+        manager = CheckpointManager(tmp_path, every=100)
+        path = manager.maybe_save(fitted_model, epoch=0, force=True)
+        assert path is not None and path.exists()
+
+    def test_invalid_cadence_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            CheckpointManager(tmp_path, every=0)
+        with pytest.raises(ValueError):
+            CheckpointManager(tmp_path, keep=0)
+
+
+class TestRetention:
+    def test_prunes_to_keep_newest(self, fitted_model, tmp_path):
+        manager = CheckpointManager(tmp_path, every=1, keep=2)
+        for epoch in range(5):
+            manager.save(fitted_model, epoch)
+        names = [p.name for p in manager.checkpoint_paths()]
+        assert names == ["ckpt-00000003.npz", "ckpt-00000004.npz"]
+
+    def test_foreign_files_untouched(self, fitted_model, tmp_path):
+        (tmp_path / "notes.txt").write_text("keep me")
+        manager = CheckpointManager(tmp_path, every=1, keep=1)
+        for epoch in range(3):
+            manager.save(fitted_model, epoch)
+        assert (tmp_path / "notes.txt").read_text() == "keep me"
+
+
+def _save_consistent(manager, model, epoch):
+    """Write a checkpoint whose loss history matches ``epoch``."""
+    import dataclasses
+
+    state = TrainingState.capture(model, epoch=len(model.loss_history) - 1)
+    state = dataclasses.replace(
+        state,
+        epoch=epoch,
+        loss_history=tuple(float(i) for i in range(epoch + 1)),
+    )
+    return state.save(manager.path_for_epoch(epoch))
+
+
+class TestDiscovery:
+    def test_paths_sorted_by_epoch(self, fitted_model, tmp_path):
+        manager = CheckpointManager(tmp_path, keep=10)
+        for epoch in (7, 2, 11):
+            manager.save(fitted_model, epoch)
+        epochs = [p.name for p in manager.checkpoint_paths()]
+        assert epochs == [
+            "ckpt-00000002.npz",
+            "ckpt-00000007.npz",
+            "ckpt-00000011.npz",
+        ]
+
+    def test_latest_path_empty_dir(self, tmp_path):
+        assert CheckpointManager(tmp_path).latest_path() is None
+        assert CheckpointManager(tmp_path).latest_state() is None
+
+    def test_latest_state_skips_corrupt_newest(self, fitted_model, tmp_path):
+        manager = CheckpointManager(tmp_path, keep=10)
+        _save_consistent(manager, fitted_model, 0)
+        _save_consistent(manager, fitted_model, 1)
+        manager.path_for_epoch(1).write_bytes(b"torn write from the old days")
+        state = manager.latest_state()
+        assert state is not None and state.epoch == 0
+
+    def test_latest_state_returns_newest_valid(self, fitted_model, tmp_path):
+        manager = CheckpointManager(tmp_path, keep=10)
+        _save_consistent(manager, fitted_model, 0)
+        _save_consistent(manager, fitted_model, 4)
+        assert manager.latest_state().epoch == 4
+
+
+class TestMetrics:
+    def test_save_records_counters_and_latency(self, fitted_model, tmp_path):
+        registry = MetricsRegistry()
+        manager = CheckpointManager(tmp_path, every=1, keep=1)
+        manager.save(fitted_model, 0, metrics=registry)
+        manager.save(fitted_model, 1, metrics=registry)
+        assert registry.counter("ckpt.saves").value() == 2
+        expected_bytes = sum(
+            p.stat().st_size for p in manager.checkpoint_paths()
+        )
+        assert registry.counter("ckpt.bytes_written").value() >= expected_bytes
+        assert registry.counter("ckpt.pruned").value() == 1
+        snapshot = registry.snapshot()
+        assert "ckpt.write_seconds" in snapshot
+
+    def test_saved_state_roundtrips(self, fitted_model, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        path = manager.save(fitted_model, 1)
+        state = TrainingState.load(path)
+        np.testing.assert_array_equal(
+            state.source, fitted_model.embedding.source
+        )

@@ -1,0 +1,128 @@
+"""Unit tests for training-state serialization."""
+
+import numpy as np
+import pytest
+
+from repro.ckpt import CHECKPOINT_VERSION, TrainingState
+from repro.core.inf2vec import Inf2vecConfig, Inf2vecModel
+from repro.data.actionlog import ActionLog, DiffusionEpisode
+from repro.data.graph import SocialGraph
+from repro.errors import CheckpointError
+
+
+@pytest.fixture()
+def fitted_model() -> Inf2vecModel:
+    graph = SocialGraph(6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)])
+    log = ActionLog(
+        [
+            DiffusionEpisode(0, [(0, 1.0), (1, 2.0), (2, 3.0)]),
+            DiffusionEpisode(1, [(3, 1.0), (4, 2.0)]),
+        ],
+        num_users=6,
+    )
+    model = Inf2vecModel(Inf2vecConfig(dim=4, epochs=3), seed=7)
+    return model.fit(graph, log)
+
+
+class TestCapture:
+    def test_capture_copies_arrays(self, fitted_model):
+        state = TrainingState.capture(fitted_model, epoch=2)
+        fitted_model.embedding.source[0, 0] = 123.0
+        assert state.source[0, 0] != 123.0
+
+    def test_capture_records_epoch_and_history(self, fitted_model):
+        state = TrainingState.capture(fitted_model, epoch=2)
+        assert state.epoch == 2
+        assert state.loss_history == tuple(fitted_model.loss_history)
+
+    def test_capture_restores_rng_stream(self, fitted_model):
+        state = TrainingState.capture(fitted_model, epoch=2)
+        expected = fitted_model.rng.integers(0, 1 << 30, size=8)
+        fresh = np.random.default_rng(0)
+        fresh.bit_generator.state = state.rng_state
+        assert np.array_equal(fresh.integers(0, 1 << 30, size=8), expected)
+
+    def test_shapes_exposed(self, fitted_model):
+        state = TrainingState.capture(fitted_model, epoch=2)
+        assert state.num_users == 6
+        assert state.dim == 4
+
+
+class TestRoundtrip:
+    def test_save_load_roundtrip(self, fitted_model, tmp_path):
+        state = TrainingState.capture(fitted_model, epoch=2)
+        path = state.save(tmp_path / "ckpt.npz")
+        loaded = TrainingState.load(path)
+        np.testing.assert_array_equal(loaded.source, state.source)
+        np.testing.assert_array_equal(loaded.target, state.target)
+        np.testing.assert_array_equal(loaded.source_bias, state.source_bias)
+        np.testing.assert_array_equal(loaded.target_bias, state.target_bias)
+        assert loaded.epoch == state.epoch
+        assert loaded.loss_history == state.loss_history
+        assert loaded.config_fingerprint == state.config_fingerprint
+        assert loaded.rng_state == state.rng_state
+        assert loaded.entry_rng_state == state.entry_rng_state
+
+    def test_bare_path_roundtrip(self, fitted_model, tmp_path):
+        state = TrainingState.capture(fitted_model, epoch=2)
+        path = state.save(tmp_path / "ckpt")  # no .npz
+        assert path.name == "ckpt.npz"
+        assert TrainingState.load(tmp_path / "ckpt").epoch == 2
+
+    def test_to_embedding(self, fitted_model, tmp_path):
+        state = TrainingState.capture(fitted_model, epoch=2)
+        emb = state.to_embedding()
+        np.testing.assert_array_equal(
+            emb.source, fitted_model.embedding.source
+        )
+
+    def test_mt19937_rng_state_roundtrips(self, fitted_model, tmp_path):
+        """The legacy bit generator's array-valued state survives JSON."""
+        legacy = np.random.Generator(np.random.MT19937(5))
+        fitted_model._rng = legacy
+        state = TrainingState.capture(fitted_model, epoch=2)
+        loaded = TrainingState.load(state.save(tmp_path / "mt"))
+        fresh = np.random.Generator(np.random.MT19937(0))
+        fresh.bit_generator.state = loaded.rng_state
+        assert np.array_equal(
+            fresh.integers(0, 100, size=5), legacy.integers(0, 100, size=5)
+        )
+
+
+class TestValidation:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(CheckpointError, match="cannot read"):
+            TrainingState.load(tmp_path / "nope.npz")
+
+    def test_version_constant(self):
+        assert CHECKPOINT_VERSION == 1
+
+    def test_mismatched_history_rejected(self, fitted_model):
+        state = TrainingState.capture(fitted_model, epoch=2)
+        with pytest.raises(CheckpointError, match="loss history"):
+            TrainingState(
+                source=state.source,
+                target=state.target,
+                source_bias=state.source_bias,
+                target_bias=state.target_bias,
+                epoch=5,  # but only 3 losses recorded
+                loss_history=state.loss_history,
+                config_fingerprint=state.config_fingerprint,
+                rng_state=state.rng_state,
+                entry_rng_state=state.entry_rng_state,
+            ).validate()
+
+    def test_bias_shape_rejected(self, fitted_model):
+        state = TrainingState.capture(fitted_model, epoch=2)
+        with pytest.raises(CheckpointError, match="bias"):
+            TrainingState(
+                source=state.source,
+                target=state.target,
+                source_bias=state.source_bias[:-1],
+                target_bias=state.target_bias,
+                epoch=state.epoch,
+                loss_history=state.loss_history,
+                config_fingerprint=state.config_fingerprint,
+                rng_state=state.rng_state,
+                entry_rng_state=state.entry_rng_state,
+            ).validate()

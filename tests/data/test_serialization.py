@@ -66,3 +66,99 @@ class TestRoundtrip:
         np.savez_compressed(path, **payload)
         with pytest.raises(DataGenerationError, match="version"):
             load_dataset(path)
+
+    def test_bare_path_roundtrip(self, dataset, tmp_path):
+        """Both sides append .npz, so a bare path round-trips."""
+        returned = save_dataset(dataset, tmp_path / "data")
+        assert returned == tmp_path / "data.npz"
+        assert load_dataset(tmp_path / "data").graph == dataset.graph
+
+
+def _rewrite(path, **overrides):
+    """Rewrite an archive with some fields replaced or dropped."""
+    with np.load(path) as data:
+        payload = {key: data[key] for key in data.files}
+    for key, value in overrides.items():
+        if value is None:
+            payload.pop(key, None)
+        else:
+            payload[key] = value
+    np.savez_compressed(path, **payload)
+
+
+class TestValidation:
+    @pytest.fixture()
+    def saved(self, dataset, tmp_path):
+        path = tmp_path / "data.npz"
+        save_dataset(dataset, path)
+        return path
+
+    def test_truncated_archive_rejected(self, saved):
+        payload = saved.read_bytes()
+        saved.write_bytes(payload[: len(payload) // 3])
+        with pytest.raises(DataGenerationError, match="cannot read"):
+            load_dataset(saved)
+
+    def test_missing_file_raises_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_dataset(tmp_path / "absent.npz")
+
+    def test_missing_fields_rejected(self, saved):
+        _rewrite(saved, log_times=None)
+        with pytest.raises(DataGenerationError, match="missing fields"):
+            load_dataset(saved)
+
+    def test_edge_endpoints_out_of_range_rejected(self, saved):
+        _rewrite(saved, edges=np.array([[0, 10_000]], dtype=np.int64),
+                 edge_probabilities=np.array([0.5]))
+        with pytest.raises(DataGenerationError, match="endpoints outside"):
+            load_dataset(saved)
+
+    def test_negative_edge_endpoint_rejected(self, saved):
+        _rewrite(saved, edges=np.array([[-1, 0]], dtype=np.int64),
+                 edge_probabilities=np.array([0.5]))
+        with pytest.raises(DataGenerationError, match="endpoints outside"):
+            load_dataset(saved)
+
+    def test_malformed_edge_shape_rejected(self, saved):
+        _rewrite(saved, edges=np.zeros((4, 3), dtype=np.int64))
+        with pytest.raises(DataGenerationError, match="malformed edge array"):
+            load_dataset(saved)
+
+    def test_misaligned_log_arrays_rejected(self, saved):
+        with np.load(saved) as data:
+            users = data["log_users"]
+        _rewrite(saved, log_users=users[:-1])
+        with pytest.raises(DataGenerationError, match="misaligned log"):
+            load_dataset(saved)
+
+    def test_log_user_out_of_range_rejected(self, saved):
+        with np.load(saved) as data:
+            users = data["log_users"].copy()
+        users[0] = 10_000
+        _rewrite(saved, log_users=users)
+        with pytest.raises(DataGenerationError, match="log users outside"):
+            load_dataset(saved)
+
+    def test_edge_probability_shape_rejected(self, saved):
+        _rewrite(saved, edge_probabilities=np.array([0.5, 0.5]))
+        with pytest.raises(DataGenerationError, match="edge probabilities"):
+            load_dataset(saved)
+
+
+class TestAtomicity:
+    def test_failed_save_preserves_previous_archive(
+        self, dataset, tmp_path, monkeypatch
+    ):
+        path = tmp_path / "data.npz"
+        save_dataset(dataset, path)
+        before = path.read_bytes()
+        monkeypatch.setattr(
+            np,
+            "savez_compressed",
+            lambda *a, **k: (_ for _ in ()).throw(OSError("disk full")),
+        )
+        with pytest.raises(OSError):
+            save_dataset(dataset, path)
+        assert path.read_bytes() == before
+        assert [p.name for p in tmp_path.iterdir()] == ["data.npz"]

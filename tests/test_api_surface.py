@@ -9,12 +9,14 @@ PUBLIC_MODULES = [
     "repro",
     "repro.apps",
     "repro.baselines",
+    "repro.ckpt",
     "repro.core",
     "repro.data",
     "repro.diffusion",
     "repro.eval",
     "repro.extensions",
     "repro.experiments",
+    "repro.obs",
     "repro.utils",
     "repro.viz",
 ]
@@ -62,3 +64,28 @@ def test_version_is_exposed():
     import repro
 
     assert repro.__version__ == "1.0.0"
+
+
+def test_ckpt_public_api_is_pinned():
+    """The checkpoint subsystem's surface is a compatibility contract."""
+    import repro.ckpt
+
+    assert set(repro.ckpt.__all__) == {
+        "atomic_output",
+        "atomic_write_bytes",
+        "atomic_write_text",
+        "ensure_suffix",
+        "CHECKPOINT_VERSION",
+        "TrainingState",
+        "CheckpointManager",
+        "CKPT_WRITE_LATENCY_BUCKETS",
+        "CheckpointError",
+    }
+
+
+def test_ckpt_types_reexported_from_top_level():
+    import repro
+
+    for name in ("CheckpointManager", "TrainingState", "CheckpointError"):
+        assert name in repro.__all__
+        assert hasattr(repro, name)

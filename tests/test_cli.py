@@ -95,3 +95,69 @@ class TestMain:
         assert main(["table1"]) == 0
         capsys.readouterr()
         assert list(tmp_path.iterdir()) == []
+
+
+class TestTrainCommand:
+    TINY = [
+        "train",
+        "--num-users", "40",
+        "--num-items", "8",
+        "--dim", "4",
+        "--epochs", "2",
+        "--seed", "1",
+    ]
+
+    def test_train_args_parse(self):
+        args = build_parser().parse_args(
+            ["train", "--checkpoint-dir", "d", "--checkpoint-every", "5"]
+        )
+        assert args.experiment == "train"
+        assert args.checkpoint_dir == "d"
+        assert args.checkpoint_every == 5
+        assert args.checkpoint_keep == 3
+        assert not args.resume
+
+    def test_resume_requires_checkpoint_dir(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["train", "--resume"])
+        assert "--checkpoint-dir" in capsys.readouterr().err
+
+    def test_end_to_end_train_writes_checkpoints_and_embedding(
+        self, capsys, tmp_path
+    ):
+        ckpt_dir = tmp_path / "ckpts"
+        out = tmp_path / "emb.npz"
+        exit_code = main(
+            self.TINY
+            + ["--checkpoint-dir", str(ckpt_dir), "--out", str(out)]
+        )
+        assert exit_code == 0
+        assert "final loss" in capsys.readouterr().out
+        assert out.exists()
+        assert any(p.name.startswith("ckpt-") for p in ckpt_dir.iterdir())
+
+    def test_train_then_resume_reports_checkpoint(self, capsys, tmp_path):
+        ckpt_dir = tmp_path / "ckpts"
+        assert main(self.TINY + ["--checkpoint-dir", str(ckpt_dir)]) == 0
+        capsys.readouterr()
+        assert main(
+            self.TINY + ["--checkpoint-dir", str(ckpt_dir), "--resume"]
+        ) == 0
+        assert "resuming from checkpoint" in capsys.readouterr().out
+
+    def test_train_records_checkpoint_telemetry(self, capsys, tmp_path):
+        import json
+
+        metrics_out = tmp_path / "run.json"
+        exit_code = main(
+            self.TINY
+            + [
+                "--checkpoint-dir", str(tmp_path / "ckpts"),
+                "--metrics-out", str(metrics_out),
+            ]
+        )
+        assert exit_code == 0
+        capsys.readouterr()
+        counters = json.loads(metrics_out.read_text())["metrics"]
+        assert "ckpt.saves" in counters
+        assert "ckpt.write_seconds" in counters
