@@ -1,80 +1,45 @@
 #!/usr/bin/env python
-"""Lint: no bare ``print()`` calls inside the library.
+"""Lint: no bare ``print()`` calls inside the library (compat shim).
 
-Library code must report through ``repro.utils.logging`` (or the
-``repro.obs`` telemetry) so applications control the output channel;
-``print`` is reserved for the designated rendering surfaces:
+The check now lives in the :mod:`repro.analysis` static-analysis
+framework as the ``no-print`` rule; this script remains so documented
+commands keep working, but it is a thin shim that invokes the
+framework.  Prefer running the full suite::
 
-* ``repro/cli.py`` — the command-line front end;
-* ``repro/viz/ascii.py`` — the ASCII chart renderer;
-* functions named ``main`` or ``print_*`` in ``repro/experiments/``
-  — each experiment's documented "print the table/figure" contract.
-
-The check is AST-based, so docstrings, comments, and identifiers that
-merely contain the substring (``config_fingerprint(...)``) never
-trigger it.
+    PYTHONPATH=src python -m repro.analysis
 
 Run standalone (``python scripts/check_no_print.py``; exit code 1 on
-violations) or via the ``tests/test_no_print.py`` guard.
+violations) or via the ``tests/test_analysis_guard.py`` guard.
 """
 
 from __future__ import annotations
 
-import ast
 import sys
 from pathlib import Path
 
-SRC_ROOT = Path(__file__).resolve().parents[1] / "src" / "repro"
-
-#: Files where print() is the module's purpose.
-ALLOWED_FILES = frozenset({"cli.py", "viz/ascii.py"})
-
-#: Function-name patterns allowed to print inside experiments modules.
-EXPERIMENT_RENDERERS = ("main", "print_")
+REPO_ROOT = Path(__file__).resolve().parents[1]
+SRC_ROOT = REPO_ROOT / "src" / "repro"
 
 
-def _allowed_in_experiments(func_stack: list[str]) -> bool:
-    return any(
-        name == "main" or name.startswith("print_")
-        for name in func_stack
-    )
-
-
-class _PrintFinder(ast.NodeVisitor):
-    """Collect bare ``print(...)`` calls with their enclosing functions."""
-
-    def __init__(self) -> None:
-        self.calls: list[tuple[int, list[str]]] = []
-        self._stack: list[str] = []
-
-    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
-        self._stack.append(node.name)
-        self.generic_visit(node)
-        self._stack.pop()
-
-    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
-
-    def visit_Call(self, node: ast.Call) -> None:
-        if isinstance(node.func, ast.Name) and node.func.id == "print":
-            self.calls.append((node.lineno, list(self._stack)))
-        self.generic_visit(node)
+def _import_analysis():
+    try:
+        import repro.analysis as analysis
+    except ImportError:
+        sys.path.insert(0, str(REPO_ROOT / "src"))
+        import repro.analysis as analysis
+    return analysis
 
 
 def find_violations(root: Path = SRC_ROOT) -> list[str]:
-    """``"path:line"`` for every disallowed print call under ``root``."""
-    violations: list[str] = []
-    for path in sorted(root.rglob("*.py")):
-        relative = path.relative_to(root).as_posix()
-        if relative in ALLOWED_FILES:
-            continue
-        finder = _PrintFinder()
-        finder.visit(ast.parse(path.read_text(), filename=str(path)))
-        in_experiments = relative.startswith("experiments/")
-        for lineno, stack in finder.calls:
-            if in_experiments and _allowed_in_experiments(stack):
-                continue
-            violations.append(f"src/repro/{relative}:{lineno}")
-    return violations
+    """``"path:line"`` for every disallowed print call under ``root``.
+
+    Kept for backward compatibility with the original standalone
+    checker's API; delegates to the ``no-print`` rule.
+    """
+    analysis = _import_analysis()
+    findings = analysis.run_analysis(root, [analysis.get_rule("no-print")])
+    prefix = "src/repro" if root == SRC_ROOT else root.as_posix()
+    return [f"{prefix}/{finding.path}:{finding.line}" for finding in findings]
 
 
 def main() -> int:

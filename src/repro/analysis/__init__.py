@@ -1,0 +1,67 @@
+"""repro.analysis — AST-based invariant checker for this repository.
+
+PRs 1–3 introduced contracts that used to exist only as prose: bitwise
+-identical checkpoint/resume requires every RNG draw to flow through
+an explicitly seeded ``numpy`` Generator, persistence must go through
+``repro.ckpt.atomic.atomic_output``, durations come from
+``perf_counter``, and library code never prints.  This package makes
+those contracts machine-enforced: a plugin-based static-analysis
+framework (per-file ``ast`` walk with a shared parse cache,
+:class:`Finding` records, ``# lint: disable=<rule>`` suppression
+comments, and a checked-in baseline for grandfathered findings) plus
+the rule suite encoding each invariant — see
+:data:`repro.analysis.rules.ALL_RULES` and DESIGN.md
+"Coding invariants".
+
+Run it locally::
+
+    PYTHONPATH=src python -m repro.analysis            # scan src/repro
+    python -m repro.analysis --list-rules              # what is enforced
+    python -m repro.analysis --format json src/repro   # machine-readable
+
+The pytest guard (``tests/test_analysis_guard.py``) runs the full
+suite over ``src/`` on every test run, and CI runs it as a separate
+job, so a violation fails the build with a ``file:line`` finding.
+"""
+
+from repro.analysis.baseline import (
+    BASELINE_FILENAME,
+    baseline_key,
+    discover_baseline,
+    load_baseline,
+    save_baseline,
+)
+from repro.analysis.cli import main
+from repro.analysis.core import (
+    PARSE_ERROR_RULE,
+    AstRule,
+    Finding,
+    ParsedFile,
+    Rule,
+    analyze_source,
+    iter_python_files,
+    parse_source,
+    run_analysis,
+)
+from repro.analysis.rules import ALL_RULES, default_rules, get_rule
+
+__all__ = [
+    "ALL_RULES",
+    "AstRule",
+    "BASELINE_FILENAME",
+    "Finding",
+    "PARSE_ERROR_RULE",
+    "ParsedFile",
+    "Rule",
+    "analyze_source",
+    "baseline_key",
+    "default_rules",
+    "discover_baseline",
+    "get_rule",
+    "iter_python_files",
+    "load_baseline",
+    "main",
+    "parse_source",
+    "run_analysis",
+    "save_baseline",
+]

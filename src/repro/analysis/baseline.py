@@ -1,0 +1,84 @@
+"""Checked-in baseline: grandfathered findings the runner ignores.
+
+A baseline lets a new rule land while its pre-existing violations are
+paid down incrementally: the runner filters out any finding whose
+:func:`baseline_key` appears in the file, so only *new* violations
+fail the build.  Keys deliberately omit the line number — code above a
+grandfathered site moving it around must not resurrect the finding —
+but include the message, so a *different* violation in the same file
+still fails.
+
+The file is JSON (sorted, newline-terminated, written atomically via
+:func:`repro.ckpt.atomic.atomic_write_text`) so diffs stay reviewable::
+
+    {
+      "version": 1,
+      "entries": [
+        "atomic-write-only::data/loaders.py::open(..., 'w') outside ..."
+      ]
+    }
+
+The repository ships an empty baseline at :data:`BASELINE_FILENAME`
+in the repo root; the CLI discovers it by walking up from the scanned
+directory.  Regenerate with ``python -m repro.analysis --write-baseline``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Union
+
+from repro.analysis.core import Finding
+from repro.ckpt.atomic import atomic_write_text
+from repro.errors import ReproError
+
+PathLike = Union[str, Path]
+
+#: Name the CLI auto-discovers by walking up from the scanned root.
+BASELINE_FILENAME = ".analysis-baseline.json"
+
+_BASELINE_VERSION = 1
+
+
+def baseline_key(finding: Finding) -> str:
+    """Stable identity of a finding: rule, path, message — no line."""
+    return f"{finding.rule_id}::{finding.path}::{finding.message}"
+
+
+def load_baseline(path: PathLike) -> frozenset[str]:
+    """Read a baseline file into the key set :func:`run_analysis` takes."""
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ReproError(f"unreadable baseline file {path}: {exc}") from exc
+    if not isinstance(payload, dict) or payload.get("version") != _BASELINE_VERSION:
+        raise ReproError(
+            f"baseline file {path} is not a version-{_BASELINE_VERSION} baseline"
+        )
+    entries = payload.get("entries", [])
+    if not isinstance(entries, list) or not all(
+        isinstance(entry, str) for entry in entries
+    ):
+        raise ReproError(f"baseline file {path}: 'entries' must be a string list")
+    return frozenset(entries)
+
+
+def save_baseline(path: PathLike, findings: Iterable[Finding]) -> Path:
+    """Atomically write ``findings`` as a baseline; returns the path."""
+    keys = sorted({baseline_key(finding) for finding in findings})
+    payload = {"version": _BASELINE_VERSION, "entries": keys}
+    return atomic_write_text(path, json.dumps(payload, indent=2) + "\n")
+
+
+def discover_baseline(start: PathLike) -> Path | None:
+    """Walk up from ``start`` looking for :data:`BASELINE_FILENAME`."""
+    current = Path(start).resolve()
+    if current.is_file():
+        current = current.parent
+    for directory in (current, *current.parents):
+        candidate = directory / BASELINE_FILENAME
+        if candidate.is_file():
+            return candidate
+    return None

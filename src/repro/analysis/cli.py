@@ -1,0 +1,199 @@
+"""The runner CLI behind ``python -m repro.analysis``.
+
+Exit codes: **0** — clean tree; **1** — findings (each printed as
+``path:line: rule-id: message``); **2** — usage error (unknown rule,
+bad root, unreadable baseline).
+
+By default the tree's checked-in baseline
+(:data:`repro.analysis.baseline.BASELINE_FILENAME`, discovered by
+walking up from the scanned root) filters grandfathered findings;
+``--no-baseline`` shows everything, ``--write-baseline`` regenerates
+the file from the current findings.
+
+This module is one of the sanctioned ``print()`` rendering surfaces
+(see the ``no-print`` rule): findings go to stdout, the summary to
+stderr, so piped output stays machine-readable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Sequence
+
+from repro.analysis.baseline import (
+    BASELINE_FILENAME,
+    baseline_key,
+    discover_baseline,
+    load_baseline,
+    save_baseline,
+)
+from repro.analysis.core import Finding, Rule, run_analysis
+from repro.analysis.rules import ALL_RULES, default_rules, get_rule
+from repro.errors import ReproError
+
+_JSON_SCHEMA_VERSION = 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro.analysis`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=(
+            "AST-based invariant checker: enforces the reproducibility, "
+            "telemetry, and persistence contracts over the source tree."
+        ),
+    )
+    parser.add_argument(
+        "roots",
+        nargs="*",
+        type=Path,
+        help="directories to scan (default: src/repro under the cwd)",
+    )
+    parser.add_argument(
+        "--rules",
+        metavar="ID[,ID...]",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list rule ids with descriptions and exit",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help=f"baseline file (default: nearest {BASELINE_FILENAME} above the root)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file; report every finding",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write current findings to the baseline file and exit 0",
+    )
+    return parser
+
+
+def _select_rules(spec: str | None, parser: argparse.ArgumentParser) -> list[Rule]:
+    if spec is None:
+        return default_rules()
+    rules: list[Rule] = []
+    for rule_id in spec.split(","):
+        try:
+            rules.append(get_rule(rule_id.strip()))
+        except KeyError as exc:
+            parser.error(str(exc.args[0]))
+    return rules
+
+
+def _default_roots() -> list[Path]:
+    candidate = Path("src") / "repro"
+    if candidate.is_dir():
+        return [candidate]
+    return []
+
+
+def _render_text(
+    findings: list[tuple[Path, Finding]], suppressed_by_baseline: int
+) -> None:
+    for root, finding in findings:
+        print(finding.render(prefix=root.as_posix()))
+    summary = f"{len(findings)} finding(s)"
+    if suppressed_by_baseline:
+        summary += f" ({suppressed_by_baseline} baselined)"
+    print(summary, file=sys.stderr)
+
+
+def _render_json(
+    findings: list[tuple[Path, Finding]],
+    roots: list[Path],
+    rules: list[Rule],
+    suppressed_by_baseline: int,
+    elapsed: float,
+) -> None:
+    payload = {
+        "version": _JSON_SCHEMA_VERSION,
+        "roots": [root.as_posix() for root in roots],
+        "rules": [rule.rule_id for rule in rules],
+        "count": len(findings),
+        "baselined": suppressed_by_baseline,
+        "elapsed_s": round(elapsed, 3),
+        "findings": [
+            {"root": root.as_posix(), **finding.to_dict()}
+            for root, finding in findings
+        ],
+    }
+    print(json.dumps(payload, indent=2, sort_keys=True))
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule_class in ALL_RULES:
+            print(f"{rule_class.rule_id}: {rule_class.description}")
+        return 0
+
+    rules = _select_rules(args.rules, parser)
+    roots = list(args.roots) or _default_roots()
+    if not roots:
+        parser.error("no roots given and ./src/repro does not exist")
+    for root in roots:
+        if not root.is_dir():
+            parser.error(f"root {root} is not a directory")
+
+    baseline: frozenset[str] = frozenset()
+    baseline_path = args.baseline
+    if not args.no_baseline:
+        if baseline_path is None:
+            baseline_path = discover_baseline(roots[0])
+        if baseline_path is not None and not args.write_baseline:
+            try:
+                baseline = load_baseline(baseline_path)
+            except ReproError as exc:
+                parser.error(str(exc))
+
+    start = time.perf_counter()
+    collected: list[tuple[Path, Finding]] = []
+    raw_count = 0
+    for root in roots:
+        raw = run_analysis(root, rules)
+        raw_count += len(raw)
+        collected.extend(
+            (root, finding)
+            for finding in raw
+            if baseline_key(finding) not in baseline
+        )
+    elapsed = time.perf_counter() - start
+    suppressed_by_baseline = raw_count - len(collected)
+
+    if args.write_baseline:
+        target = baseline_path or (Path.cwd() / BASELINE_FILENAME)
+        save_baseline(target, (finding for _, finding in collected))
+        print(
+            f"wrote {len(collected)} entr(y/ies) to {target}", file=sys.stderr
+        )
+        return 0
+
+    if args.format == "json":
+        _render_json(collected, roots, rules, suppressed_by_baseline, elapsed)
+    else:
+        _render_text(collected, suppressed_by_baseline)
+    return 1 if collected else 0

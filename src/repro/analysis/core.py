@@ -1,0 +1,274 @@
+"""Framework core: findings, parsed files, suppressions, the runner.
+
+The pieces every rule builds on:
+
+* :class:`Finding` — one violation, addressed by root-relative path,
+  line, rule id, and message;
+* :class:`ParsedFile` — a source file with its ``ast`` tree and the
+  line-indexed ``# lint: disable=<rule>`` suppressions, parsed **once**
+  and shared by every rule (the parse cache also persists across
+  :func:`run_analysis` calls in the same process, keyed by mtime, so
+  the pytest guard and a subsequent CLI run never re-parse a file that
+  has not changed);
+* :class:`Rule` / :class:`AstRule` — the plugin protocol and the
+  convenience base class rules derive from;
+* :func:`run_analysis` / :func:`analyze_source` — run a rule suite
+  over a directory tree or over an in-memory snippet (the fixture
+  tests parse strings, never repo files).
+
+A file that fails to parse is itself reported as a finding under the
+reserved rule id ``parse-error`` rather than aborting the run.
+
+Suppression comments apply to the physical line a finding is reported
+on::
+
+    self.start_unix = time.time()  # lint: disable=no-wallclock-timing
+
+A bare ``# lint: disable`` (no ``=rule``) suppresses every rule on
+that line; use sparingly.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Protocol, Sequence, Union, runtime_checkable
+
+PathLike = Union[str, Path]
+
+#: Reserved rule id for files the parser rejects.
+PARSE_ERROR_RULE = "parse-error"
+
+_SUPPRESS_RE = re.compile(r"lint:\s*disable(?:=(?P<rules>[\w\-]+(?:\s*,\s*[\w\-]+)*))?")
+
+#: Sentinel meaning "all rules suppressed on this line".
+_ALL_RULES = frozenset({"*"})
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a specific source location."""
+
+    path: str  #: POSIX path relative to the scanned root.
+    line: int  #: 1-indexed physical line.
+    rule_id: str
+    message: str
+
+    def render(self, prefix: str = "") -> str:
+        """``path:line: rule-id: message`` (optionally prefixed)."""
+        location = f"{prefix}/{self.path}" if prefix else self.path
+        return f"{location}:{self.line}: {self.rule_id}: {self.message}"
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-ready mapping (the CLI's ``--format json`` schema)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "rule": self.rule_id,
+            "message": self.message,
+        }
+
+
+@dataclass
+class ParsedFile:
+    """A source file parsed once and shared by every rule."""
+
+    path: Path  #: Path as handed to the runner (absolute or relative).
+    relative: str  #: POSIX path relative to the scanned root.
+    text: str
+    tree: ast.Module
+    suppressions: dict[int, frozenset[str]] = field(default_factory=dict)
+
+    def is_suppressed(self, rule_id: str, line: int) -> bool:
+        """True when ``line`` carries a disable comment covering ``rule_id``."""
+        rules = self.suppressions.get(line)
+        if rules is None:
+            return False
+        return rules is _ALL_RULES or "*" in rules or rule_id in rules
+
+
+@runtime_checkable
+class Rule(Protocol):
+    """The plugin protocol: a rule id, a description, and a check.
+
+    Rules are stateless across files; :meth:`check` receives one
+    :class:`ParsedFile` at a time and yields findings.  Suppression
+    comments and the baseline are applied by the runner, never by the
+    rule itself.
+    """
+
+    rule_id: str
+    description: str
+
+    def check(self, parsed: ParsedFile) -> Iterable[Finding]:
+        """Yield every violation of this rule in ``parsed``."""
+        ...
+
+
+class AstRule:
+    """Convenience base class: shared ``finding`` constructor.
+
+    Subclasses set ``rule_id`` / ``description`` class attributes and
+    implement :meth:`check`.
+    """
+
+    rule_id = "abstract"
+    description = "abstract base rule"
+
+    def finding(self, parsed: ParsedFile, node: ast.AST, message: str) -> Finding:
+        """Build a :class:`Finding` located at ``node``."""
+        return Finding(
+            path=parsed.relative,
+            line=getattr(node, "lineno", 1),
+            rule_id=self.rule_id,
+            message=message,
+        )
+
+    def check(self, parsed: ParsedFile) -> Iterable[Finding]:
+        """Subclasses must override."""
+        raise NotImplementedError
+
+
+def _scan_suppressions(text: str) -> dict[int, frozenset[str]]:
+    """Map line number -> suppressed rule ids from ``lint:`` comments."""
+    suppressions: dict[int, frozenset[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(text).readline)
+        comments = [
+            (token.start[0], token.string)
+            for token in tokens
+            if token.type == tokenize.COMMENT
+        ]
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        return suppressions
+    for line, comment in comments:
+        match = _SUPPRESS_RE.search(comment)
+        if match is None:
+            continue
+        listed = match.group("rules")
+        if listed is None:
+            suppressions[line] = _ALL_RULES
+        else:
+            names = frozenset(name.strip() for name in listed.split(","))
+            suppressions[line] = suppressions.get(line, frozenset()) | names
+    return suppressions
+
+
+def parse_source(
+    text: str, relative: str = "<memory>.py", path: PathLike | None = None
+) -> ParsedFile:
+    """Parse ``text`` into a :class:`ParsedFile` (raises ``SyntaxError``)."""
+    tree = ast.parse(text, filename=relative)
+    return ParsedFile(
+        path=Path(path) if path is not None else Path(relative),
+        relative=relative,
+        text=text,
+        tree=tree,
+        suppressions=_scan_suppressions(text),
+    )
+
+
+#: Process-wide parse cache: resolved path -> (mtime_ns, size, ParsedFile).
+_PARSE_CACHE: dict[str, tuple[int, int, ParsedFile]] = {}
+
+
+def _parse_path(path: Path, relative: str) -> ParsedFile:
+    """Parse ``path`` through the mtime-validated process-wide cache."""
+    key = str(path.resolve())
+    stat = path.stat()
+    cached = _PARSE_CACHE.get(key)
+    if cached is not None:
+        mtime_ns, size, parsed = cached
+        if mtime_ns == stat.st_mtime_ns and size == stat.st_size:
+            if parsed.relative == relative:
+                return parsed
+    parsed = parse_source(path.read_text(encoding="utf-8"), relative, path=path)
+    _PARSE_CACHE[key] = (stat.st_mtime_ns, stat.st_size, parsed)
+    return parsed
+
+
+def iter_python_files(root: PathLike) -> Iterator[Path]:
+    """All ``*.py`` files under ``root``, sorted, hidden dirs skipped."""
+    root = Path(root)
+    for path in sorted(root.rglob("*.py")):
+        if any(part.startswith(".") for part in path.relative_to(root).parts):
+            continue
+        yield path
+
+
+def _apply_rules(
+    parsed: ParsedFile, rules: Sequence[Rule]
+) -> Iterator[Finding]:
+    for rule in rules:
+        for finding in rule.check(parsed):
+            if not parsed.is_suppressed(finding.rule_id, finding.line):
+                yield finding
+
+
+def analyze_source(
+    text: str, rules: Sequence[Rule], relative: str = "<memory>.py"
+) -> list[Finding]:
+    """Run ``rules`` over an in-memory snippet (the fixture-test entry).
+
+    Suppression comments are honoured; a syntax error comes back as a
+    single ``parse-error`` finding instead of raising.
+    """
+    try:
+        parsed = parse_source(text, relative)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                path=relative,
+                line=exc.lineno or 1,
+                rule_id=PARSE_ERROR_RULE,
+                message=f"file does not parse: {exc.msg}",
+            )
+        ]
+    return sorted(_apply_rules(parsed, rules))
+
+
+def run_analysis(
+    root: PathLike,
+    rules: Sequence[Rule],
+    baseline: frozenset[str] | None = None,
+) -> list[Finding]:
+    """Run ``rules`` over every Python file under ``root``.
+
+    Parameters
+    ----------
+    root:
+        Directory to scan (typically ``src/repro``).
+    rules:
+        Rule instances to apply; each file is parsed once and shared.
+    baseline:
+        Optional set of :func:`repro.analysis.baseline.baseline_key`
+        strings; matching findings are filtered out (grandfathered).
+
+    Returns the surviving findings sorted by path, line, rule.
+    """
+    root = Path(root)
+    findings: list[Finding] = []
+    for path in iter_python_files(root):
+        relative = path.relative_to(root).as_posix()
+        try:
+            parsed = _parse_path(path, relative)
+        except SyntaxError as exc:
+            findings.append(
+                Finding(
+                    path=relative,
+                    line=exc.lineno or 1,
+                    rule_id=PARSE_ERROR_RULE,
+                    message=f"file does not parse: {exc.msg}",
+                )
+            )
+            continue
+        findings.extend(_apply_rules(parsed, rules))
+    if baseline:
+        from repro.analysis.baseline import baseline_key
+
+        findings = [f for f in findings if baseline_key(f) not in baseline]
+    return sorted(findings)

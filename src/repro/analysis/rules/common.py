@@ -1,0 +1,76 @@
+"""Shared AST helpers for the rule suite.
+
+Rules that care about *which module* a call resolves to (``np.random``
+vs. a local variable that happens to be called ``random``) need the
+file's import aliases.  :class:`ImportMap` collects them in one pass;
+:func:`resolve_call_target` turns a call's dotted attribute chain into
+a canonical ``module.attr`` string using that map.
+"""
+
+from __future__ import annotations
+
+import ast
+
+
+def dotted_name(node: ast.expr) -> str | None:
+    """``a.b.c`` for a pure Name/Attribute chain, else ``None``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+class ImportMap:
+    """Local alias -> canonical dotted module/object path for one file.
+
+    Covers the spellings that matter for invariant checks::
+
+        import numpy as np          ->  np: numpy
+        import numpy.random         ->  numpy: numpy
+        import numpy.random as npr  ->  npr: numpy.random
+        from numpy import random    ->  random: numpy.random
+        from time import time       ->  time: time.time
+    """
+
+    def __init__(self, tree: ast.Module):
+        self.aliases: dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname is not None:
+                        self.aliases[alias.asname] = alias.name
+                    else:
+                        # ``import numpy.random`` binds the top package.
+                        top = alias.name.split(".")[0]
+                        self.aliases[top] = top
+            elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    bound = alias.asname or alias.name
+                    self.aliases[bound] = f"{node.module}.{alias.name}"
+
+    def resolve(self, name: str) -> str | None:
+        """Canonical path for a local dotted name, or ``None`` if unknown.
+
+        ``np.random.rand`` resolves through the ``np`` alias to
+        ``numpy.random.rand``; names whose head is not an import alias
+        (locals, parameters) resolve to ``None``.
+        """
+        head, _, rest = name.partition(".")
+        canonical = self.aliases.get(head)
+        if canonical is None:
+            return None
+        return f"{canonical}.{rest}" if rest else canonical
+
+
+def resolve_call_target(call: ast.Call, imports: ImportMap) -> str | None:
+    """Canonical dotted path of a call's callee, or ``None``."""
+    name = dotted_name(call.func)
+    if name is None:
+        return None
+    return imports.resolve(name)

@@ -1,0 +1,90 @@
+"""Hygiene rules: ``no-bare-except`` and ``no-mutable-default-args``.
+
+Neither encodes a repo-specific contract; both catch Python footguns
+that have burned reproducibility efforts before:
+
+* a bare ``except:`` swallows ``KeyboardInterrupt`` / ``SystemExit``
+  and can turn a crashed run into a silently-wrong one (``except
+  BaseException: ... raise`` as in ``ckpt/atomic.py`` is fine — it is
+  explicit and re-raises);
+* a mutable default argument (``def f(x, acc=[])``) is shared across
+  calls, so results depend on call history — state invisible to the
+  checkpoint snapshot.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.core import AstRule, Finding, ParsedFile
+
+_MUTABLE_LITERALS = (
+    ast.List,
+    ast.Dict,
+    ast.Set,
+    ast.ListComp,
+    ast.DictComp,
+    ast.SetComp,
+)
+
+_MUTABLE_CONSTRUCTORS = frozenset({"list", "dict", "set", "bytearray"})
+
+
+class NoBareExceptRule(AstRule):
+    """Forbid ``except:`` with no exception type."""
+
+    rule_id = "no-bare-except"
+    description = (
+        "bare except swallows KeyboardInterrupt/SystemExit; catch a "
+        "specific exception type (or an explicit BaseException that "
+        "re-raises)"
+    )
+
+    def check(self, parsed: ParsedFile) -> Iterable[Finding]:
+        for node in ast.walk(parsed.tree):
+            if isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield self.finding(
+                    parsed,
+                    node,
+                    "bare 'except:' hides KeyboardInterrupt and SystemExit; "
+                    "name the exception type being handled",
+                )
+
+
+def _is_mutable_default(node: ast.expr) -> bool:
+    if isinstance(node, _MUTABLE_LITERALS):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in _MUTABLE_CONSTRUCTORS
+    )
+
+
+class NoMutableDefaultArgsRule(AstRule):
+    """Forbid mutable default argument values."""
+
+    rule_id = "no-mutable-default-args"
+    description = (
+        "mutable defaults are shared across calls — hidden state that "
+        "breaks run-to-run determinism; default to None and build inside"
+    )
+
+    def check(self, parsed: ParsedFile) -> Iterable[Finding]:
+        for node in ast.walk(parsed.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            defaults = list(node.args.defaults) + [
+                default
+                for default in node.args.kw_defaults
+                if default is not None
+            ]
+            for default in defaults:
+                if _is_mutable_default(default):
+                    yield self.finding(
+                        parsed,
+                        default,
+                        f"mutable default argument in '{node.name}' is shared "
+                        "across calls; use None and construct per call",
+                    )

@@ -1,0 +1,146 @@
+"""``atomic-write-only``: all persistence goes through ``atomic_output``.
+
+A crash mid-write (SIGKILL, power loss, full disk) must never leave a
+truncated file at a final destination — that is the whole contract of
+:mod:`repro.ckpt.atomic`.  This rule forbids the raw write surfaces
+anywhere under ``src/``:
+
+* ``open(..., "w"/"wb"/"a"/"x")`` (builtin or ``Path.open``),
+* ``np.save`` / ``np.savez`` / ``np.savez_compressed`` / ``np.savetxt``,
+* ``json.dump`` / ``pickle.dump`` (the to-file variants; ``dumps`` is
+  string-producing and fine),
+* ``Path.write_text`` / ``Path.write_bytes`` / ``ndarray.tofile``,
+
+**except** when the call sits lexically inside a
+``with atomic_output(...)`` block — the temp file being written there
+is exactly the sanctioned pattern — or inside ``repro/ckpt/atomic.py``
+itself, which implements the primitive.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.core import AstRule, Finding, ParsedFile
+from repro.analysis.rules.common import ImportMap, dotted_name, resolve_call_target
+
+#: Root-relative files that implement the atomic primitive itself.
+DEFAULT_ALLOWED_FILES = frozenset({"ckpt/atomic.py"})
+
+#: Module-level functions that persist to a path.
+_BANNED_MODULE_CALLS = {
+    "numpy.save",
+    "numpy.savez",
+    "numpy.savez_compressed",
+    "numpy.savetxt",
+    "json.dump",
+    "pickle.dump",
+    "marshal.dump",
+}
+
+#: Method names that persist to a path regardless of receiver type.
+_BANNED_METHODS = frozenset({"write_text", "write_bytes", "tofile"})
+
+_WRITE_MODE_CHARS = frozenset("wax")
+
+
+def _open_write_mode(call: ast.Call, mode_position: int = 1) -> str | None:
+    """The mode string when ``call`` opens a file for writing, else None.
+
+    ``mode_position`` is 1 for builtin ``open(path, mode)`` and 0 for
+    the ``Path.open(mode)`` method.
+    """
+    mode_node: ast.expr | None = None
+    if len(call.args) > mode_position:
+        mode_node = call.args[mode_position]
+    for keyword in call.keywords:
+        if keyword.arg == "mode":
+            mode_node = keyword.value
+    if isinstance(mode_node, ast.Constant) and isinstance(mode_node.value, str):
+        if _WRITE_MODE_CHARS & set(mode_node.value):
+            return mode_node.value
+    return None
+
+
+def _is_atomic_output_call(node: ast.expr) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    name = dotted_name(node.func)
+    return name is not None and name.split(".")[-1] == "atomic_output"
+
+
+class _WriteFinder(ast.NodeVisitor):
+    """Collect raw write calls, tracking ``with atomic_output(...)`` depth."""
+
+    def __init__(self, imports: ImportMap) -> None:
+        self.imports = imports
+        self.violations: list[tuple[ast.Call, str]] = []
+        self._atomic_depth = 0
+
+    def _visit_with(self, node: ast.With | ast.AsyncWith) -> None:
+        shielded = any(
+            _is_atomic_output_call(item.context_expr) for item in node.items
+        )
+        if shielded:
+            self._atomic_depth += 1
+        self.generic_visit(node)
+        if shielded:
+            self._atomic_depth -= 1
+
+    visit_With = _visit_with  # type: ignore[assignment]
+    visit_AsyncWith = _visit_with  # type: ignore[assignment]
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if self._atomic_depth == 0:
+            self._classify(node)
+        self.generic_visit(node)
+
+    def _classify(self, node: ast.Call) -> None:
+        func = node.func
+        target = resolve_call_target(node, self.imports)
+        if isinstance(func, ast.Name) and func.id == "open":
+            mode = _open_write_mode(node)
+            if mode is not None:
+                self.violations.append((node, f"open(..., {mode!r})"))
+            return
+        if isinstance(func, ast.Attribute):
+            if func.attr == "open" and target != "os.open":
+                mode = _open_write_mode(node, mode_position=0)
+                if mode is not None:
+                    self.violations.append((node, f".open(..., {mode!r})"))
+                return
+            if func.attr in _BANNED_METHODS:
+                self.violations.append((node, f".{func.attr}(...)"))
+                return
+        if target in _BANNED_MODULE_CALLS:
+            self.violations.append((node, f"{target}(...)"))
+
+
+class AtomicWriteOnlyRule(AstRule):
+    """Forbid raw file writes outside ``with atomic_output(...)`` blocks."""
+
+    rule_id = "atomic-write-only"
+    description = (
+        "persistence must go through repro.ckpt.atomic.atomic_output "
+        "(temp file + fsync + os.replace) so a crash never leaves a "
+        "truncated file at the destination"
+    )
+
+    def __init__(self, allowed_files: Iterable[str] = DEFAULT_ALLOWED_FILES) -> None:
+        self.allowed_files = frozenset(allowed_files)
+
+    def check(self, parsed: ParsedFile) -> Iterable[Finding]:
+        if parsed.relative in self.allowed_files:
+            return
+        imports = ImportMap(parsed.tree)
+        finder = _WriteFinder(imports)
+        finder.visit(parsed.tree)
+        for node, surface in finder.violations:
+            yield self.finding(
+                parsed,
+                node,
+                f"{surface} writes non-atomically; wrap the write in "
+                "'with repro.ckpt.atomic.atomic_output(path) as tmp:' "
+                "(or use atomic_write_text/atomic_write_bytes)",
+            )

@@ -1,0 +1,119 @@
+"""``no-global-rng``: every random draw flows through a seeded Generator.
+
+Resume-equivalence (DESIGN.md §10) snapshots the bit-state of the
+model's explicit ``numpy.random.Generator`` objects; a single draw
+from the *global* NumPy RNG or the stdlib ``random`` module is
+invisible to that snapshot and silently breaks bitwise-identical
+resume.  This rule therefore forbids, anywhere under ``src/``:
+
+* calls into ``numpy.random`` other than the Generator constructors
+  (``default_rng``, ``Generator``, ``SeedSequence``, and the bit
+  generators) — so ``np.random.rand``, ``np.random.choice``, and
+  especially ``np.random.seed`` are all findings;
+* any import of, or call into, the stdlib ``random`` module.
+
+``repro.utils.rng.ensure_rng`` is the blessed way to accept a seed or
+Generator at an API boundary.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.core import AstRule, Finding, ParsedFile
+from repro.analysis.rules.common import ImportMap, resolve_call_target
+
+#: Constructors that *produce* explicit Generators — the blessed surface.
+ALLOWED_NUMPY_RANDOM = frozenset(
+    {
+        "default_rng",
+        "Generator",
+        "SeedSequence",
+        "BitGenerator",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "SFC64",
+        "MT19937",
+    }
+)
+
+
+class NoGlobalRngRule(AstRule):
+    """Forbid global ``np.random.*`` / stdlib ``random`` state."""
+
+    rule_id = "no-global-rng"
+    description = (
+        "all randomness must flow through an explicitly seeded "
+        "numpy Generator (repro.utils.rng.ensure_rng); global "
+        "np.random.* and stdlib random break resume-equivalence"
+    )
+
+    def check(self, parsed: ParsedFile) -> Iterable[Finding]:
+        imports = ImportMap(parsed.tree)
+        for node in ast.walk(parsed.tree):
+            if isinstance(node, ast.ImportFrom) and not node.level:
+                yield from self._check_import_from(parsed, node)
+            elif isinstance(node, ast.Import):
+                yield from self._check_import(parsed, node)
+            elif isinstance(node, ast.Call):
+                yield from self._check_call(parsed, node, imports)
+
+    def _check_import_from(
+        self, parsed: ParsedFile, node: ast.ImportFrom
+    ) -> Iterable[Finding]:
+        if node.module == "random" or (node.module or "").startswith("random."):
+            yield self.finding(
+                parsed,
+                node,
+                "import from stdlib random; use a seeded numpy Generator "
+                "(repro.utils.rng.ensure_rng) instead",
+            )
+        elif node.module == "numpy.random":
+            banned = [
+                alias.name
+                for alias in node.names
+                if alias.name not in ALLOWED_NUMPY_RANDOM
+            ]
+            if banned:
+                yield self.finding(
+                    parsed,
+                    node,
+                    f"import of numpy.random.{{{', '.join(banned)}}}; only the "
+                    "Generator constructors (default_rng et al.) are allowed",
+                )
+
+    def _check_import(self, parsed: ParsedFile, node: ast.Import) -> Iterable[Finding]:
+        for alias in node.names:
+            if alias.name == "random" or alias.name.startswith("random."):
+                yield self.finding(
+                    parsed,
+                    node,
+                    "import of stdlib random; use a seeded numpy Generator "
+                    "(repro.utils.rng.ensure_rng) instead",
+                )
+
+    def _check_call(
+        self, parsed: ParsedFile, node: ast.Call, imports: ImportMap
+    ) -> Iterable[Finding]:
+        target = resolve_call_target(node, imports)
+        if target is None:
+            return
+        if target.startswith("random."):
+            yield self.finding(
+                parsed,
+                node,
+                f"{target}() draws from the global stdlib RNG; thread a "
+                "seeded numpy Generator instead",
+            )
+        elif target.startswith("numpy.random."):
+            attr = target[len("numpy.random.") :]
+            if "." not in attr and attr not in ALLOWED_NUMPY_RANDOM:
+                yield self.finding(
+                    parsed,
+                    node,
+                    f"np.random.{attr}() uses the global NumPy RNG; thread a "
+                    "seeded np.random.default_rng Generator instead "
+                    "(resume-equivalence snapshots only explicit Generators)",
+                )

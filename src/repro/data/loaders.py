@@ -19,6 +19,7 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Iterable, Iterator, Union
 
+from repro.ckpt.atomic import atomic_output
 from repro.data.actionlog import ActionLog
 from repro.data.graph import SocialGraph
 from repro.errors import ActionLogError, GraphError
@@ -167,25 +168,37 @@ def load_action_log(
 def write_edge_list(
     graph: SocialGraph, path: PathLike, index: UserIndex | None = None
 ) -> None:
-    """Write a graph back to the edge-list format."""
-    with open(path, "w", encoding="utf-8") as handle:
-        handle.write("# source target\n")
-        for source, target in graph.edges():
-            if index is not None:
-                handle.write(f"{index.name_of(source)} {index.name_of(target)}\n")
-            else:
-                handle.write(f"{source} {target}\n")
+    """Atomically write a graph back to the edge-list format.
+
+    The write goes through :func:`repro.ckpt.atomic.atomic_output`, so
+    an interrupted export never leaves a truncated edge list behind.
+    """
+    with atomic_output(path) as tmp:
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write("# source target\n")
+            for source, target in graph.edges():
+                if index is not None:
+                    handle.write(
+                        f"{index.name_of(source)} {index.name_of(target)}\n"
+                    )
+                else:
+                    handle.write(f"{source} {target}\n")
 
 
 def write_action_log(
     log: ActionLog, path: PathLike, index: UserIndex | None = None
 ) -> None:
-    """Write an action log back to the votes format."""
-    with open(path, "w", encoding="utf-8") as handle:
-        handle.write("# user item timestamp\n")
-        for user, item, timestamp in log.to_tuples():
-            name = index.name_of(user) if index is not None else str(user)
-            handle.write(f"{name} {item} {timestamp!r}\n")
+    """Atomically write an action log back to the votes format.
+
+    The write goes through :func:`repro.ckpt.atomic.atomic_output`, so
+    an interrupted export never leaves a truncated log behind.
+    """
+    with atomic_output(path) as tmp:
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write("# user item timestamp\n")
+            for user, item, timestamp in log.to_tuples():
+                name = index.name_of(user) if index is not None else str(user)
+                handle.write(f"{name} {item} {timestamp!r}\n")
 
 
 def load_dataset(

@@ -89,7 +89,9 @@ class RunRecorder:
         self.name = name
         self.metrics = MetricsRegistry()
         self.tracer = Tracer()
-        self.created_unix = time.time()
+        # Manifest creation is stamped with absolute epoch time so runs
+        # can be ordered across machines; no duration is derived from it.
+        self.created_unix = time.time()  # lint: disable=no-wallclock-timing
         self._config_payload: dict[str, object] | None = None
         self._fingerprint: str | None = None
         self._dataset: dict[str, object] = {}

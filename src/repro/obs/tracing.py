@@ -56,7 +56,10 @@ class Span:
     def __init__(self, name: str, attributes: dict[str, object]):
         self.name = name
         self.attributes = attributes
-        self.start_unix = time.time()
+        # Absolute epoch time is the point here — spans are correlated
+        # with external logs by wall clock, not measured by it (the
+        # duration below uses perf_counter).
+        self.start_unix = time.time()  # lint: disable=no-wallclock-timing
         self.status = "ok"
         self.error: str | None = None
         self.children: list["Span"] = []

@@ -1,0 +1,125 @@
+"""CLI contract: exit codes, text/JSON output schema, baseline flags."""
+
+import json
+
+import pytest
+
+from repro.analysis import ALL_RULES, load_baseline
+from repro.analysis.cli import main
+
+CLEAN = "x = 1\n"
+VIOLATION = "import numpy as np\nx = np.random.rand()\n"
+
+
+@pytest.fixture
+def tree(tmp_path, monkeypatch):
+    """A scannable package dir; cwd pinned so no repo baseline leaks in."""
+    monkeypatch.chdir(tmp_path)
+    pkg = tmp_path / "pkg"
+    pkg.mkdir()
+    return pkg
+
+
+def run_cli(*argv):
+    return main(list(argv))
+
+
+class TestExitCodes:
+    def test_clean_tree_exits_zero(self, tree):
+        (tree / "ok.py").write_text(CLEAN)
+        assert run_cli(str(tree), "--no-baseline") == 0
+
+    def test_findings_exit_nonzero(self, tree):
+        (tree / "bad.py").write_text(VIOLATION)
+        assert run_cli(str(tree), "--no-baseline") == 1
+
+    def test_usage_error_exits_two(self, tree):
+        with pytest.raises(SystemExit) as excinfo:
+            run_cli(str(tree), "--rules", "no-such-rule")
+        assert excinfo.value.code == 2
+
+    def test_missing_root_exits_two(self, tree):
+        with pytest.raises(SystemExit) as excinfo:
+            run_cli(str(tree / "missing"))
+        assert excinfo.value.code == 2
+
+
+class TestTextOutput:
+    def test_findings_printed_with_file_line_rule(self, tree, capsys):
+        (tree / "bad.py").write_text(VIOLATION)
+        run_cli(str(tree), "--no-baseline")
+        out = capsys.readouterr()
+        assert f"{tree.as_posix()}/bad.py:2: no-global-rng:" in out.out
+        assert "1 finding(s)" in out.err
+
+    def test_list_rules_shows_every_id(self, capsys):
+        assert run_cli("--list-rules") == 0
+        out = capsys.readouterr().out
+        for rule_class in ALL_RULES:
+            assert rule_class.rule_id in out
+
+
+class TestJsonOutput:
+    def test_schema(self, tree, capsys):
+        (tree / "bad.py").write_text(VIOLATION)
+        code = run_cli(str(tree), "--no-baseline", "--format", "json")
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == 1
+        assert payload["roots"] == [tree.as_posix()]
+        assert payload["rules"] == [r.rule_id for r in ALL_RULES]
+        assert payload["count"] == 1
+        assert payload["baselined"] == 0
+        assert isinstance(payload["elapsed_s"], float)
+        (finding,) = payload["findings"]
+        assert finding == {
+            "root": tree.as_posix(),
+            "path": "bad.py",
+            "line": 2,
+            "rule": "no-global-rng",
+            "message": finding["message"],
+        }
+        assert "global NumPy RNG" in finding["message"]
+
+    def test_clean_tree_schema(self, tree, capsys):
+        (tree / "ok.py").write_text(CLEAN)
+        assert run_cli(str(tree), "--no-baseline", "--format", "json") == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["count"] == 0
+        assert payload["findings"] == []
+
+
+class TestRuleSelection:
+    def test_rules_flag_restricts_the_suite(self, tree, capsys):
+        (tree / "bad.py").write_text(VIOLATION + "print('x')\n")
+        assert run_cli(str(tree), "--no-baseline", "--rules", "no-print") == 1
+        payload_lines = capsys.readouterr().out.splitlines()
+        assert len(payload_lines) == 1
+        assert "no-print" in payload_lines[0]
+
+
+class TestBaselineFlags:
+    def test_write_baseline_then_clean_run(self, tree, capsys):
+        (tree / "bad.py").write_text(VIOLATION)
+        baseline = tree.parent / "baseline.json"
+        assert (
+            run_cli(str(tree), "--baseline", str(baseline), "--write-baseline")
+            == 0
+        )
+        assert len(load_baseline(baseline)) == 1
+        capsys.readouterr()
+
+        # Grandfathered finding no longer fails the run...
+        assert run_cli(str(tree), "--baseline", str(baseline)) == 0
+        assert "(1 baselined)" in capsys.readouterr().err
+
+        # ...but --no-baseline still shows it.
+        assert run_cli(str(tree), "--no-baseline") == 1
+
+    def test_auto_discovery_walks_up(self, tree, capsys):
+        (tree / "bad.py").write_text(VIOLATION)
+        baseline = tree.parent / ".analysis-baseline.json"
+        run_cli(str(tree), "--baseline", str(baseline), "--write-baseline")
+        capsys.readouterr()
+        # No --baseline flag: the file is discovered above the root.
+        assert run_cli(str(tree)) == 0

@@ -1,0 +1,239 @@
+"""Framework behaviour: suppressions, baseline round trip, parse cache."""
+
+import textwrap
+
+import pytest
+
+from repro.analysis import (
+    PARSE_ERROR_RULE,
+    Finding,
+    analyze_source,
+    baseline_key,
+    default_rules,
+    discover_baseline,
+    get_rule,
+    iter_python_files,
+    load_baseline,
+    parse_source,
+    run_analysis,
+    save_baseline,
+)
+from repro.analysis.core import _PARSE_CACHE
+from repro.errors import ReproError
+
+VIOLATION = "import numpy as np\nx = np.random.rand()\n"
+
+
+# ---------------------------------------------------------------------------
+# Suppression comments
+# ---------------------------------------------------------------------------
+
+
+class TestSuppressions:
+    def test_named_suppression_silences_that_rule(self):
+        source = (
+            "import numpy as np\n"
+            "x = np.random.rand()  # lint: disable=no-global-rng\n"
+        )
+        assert analyze_source(source, default_rules()) == []
+
+    def test_suppression_of_other_rule_does_not_silence(self):
+        source = (
+            "import numpy as np\n"
+            "x = np.random.rand()  # lint: disable=no-print\n"
+        )
+        findings = analyze_source(source, default_rules())
+        assert [f.rule_id for f in findings] == ["no-global-rng"]
+
+    def test_bare_disable_silences_all_rules(self):
+        source = "print(open('x', 'w'))  # lint: disable\n"
+        assert analyze_source(source, default_rules()) == []
+
+    def test_comma_separated_rule_list(self):
+        source = (
+            "print(open('x', 'w'))  "
+            "# lint: disable=no-print, atomic-write-only\n"
+        )
+        assert analyze_source(source, default_rules()) == []
+
+    def test_suppression_only_covers_its_line(self):
+        source = (
+            "import numpy as np\n"
+            "y = np.random.rand()  # lint: disable=no-global-rng\n"
+            "z = np.random.rand()\n"
+        )
+        findings = analyze_source(source, default_rules())
+        assert [f.line for f in findings] == [3]
+
+    def test_disable_comment_inside_string_is_inert(self):
+        source = (
+            'text = "lint: disable=no-global-rng"\n'
+            "import numpy as np\n"
+            "x = np.random.rand()\n"
+        )
+        parsed = parse_source(source)
+        assert parsed.suppressions == {}
+        findings = analyze_source(source, default_rules())
+        assert [f.rule_id for f in findings] == ["no-global-rng"]
+
+
+# ---------------------------------------------------------------------------
+# Baseline round trip
+# ---------------------------------------------------------------------------
+
+
+class TestBaseline:
+    def test_round_trip_filters_grandfathered_findings(self, tmp_path):
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "old.py").write_text(VIOLATION)
+        rules = [get_rule("no-global-rng")]
+
+        findings = run_analysis(pkg, rules)
+        assert len(findings) == 1
+
+        baseline_file = tmp_path / "baseline.json"
+        save_baseline(baseline_file, findings)
+        baseline = load_baseline(baseline_file)
+        assert baseline == {baseline_key(findings[0])}
+
+        assert run_analysis(pkg, rules, baseline=baseline) == []
+
+    def test_baseline_survives_line_drift(self, tmp_path):
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "old.py").write_text(VIOLATION)
+        rules = [get_rule("no-global-rng")]
+        baseline_file = tmp_path / "baseline.json"
+        save_baseline(baseline_file, run_analysis(pkg, rules))
+
+        # Code added above the grandfathered site moves its line.
+        (pkg / "old.py").write_text("import os\n\n" + VIOLATION)
+        baseline = load_baseline(baseline_file)
+        assert run_analysis(pkg, rules, baseline=baseline) == []
+
+    def test_new_violation_is_not_masked_by_baseline(self, tmp_path):
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "old.py").write_text(VIOLATION)
+        rules = [get_rule("no-global-rng")]
+        baseline_file = tmp_path / "baseline.json"
+        save_baseline(baseline_file, run_analysis(pkg, rules))
+
+        (pkg / "old.py").write_text(VIOLATION + "y = np.random.choice([1])\n")
+        baseline = load_baseline(baseline_file)
+        survivors = run_analysis(pkg, rules, baseline=baseline)
+        assert len(survivors) == 1
+        assert "choice" in survivors[0].message
+
+    def test_corrupt_baseline_raises_repro_error(self, tmp_path):
+        bad = tmp_path / "baseline.json"
+        bad.write_text("{not json")
+        with pytest.raises(ReproError, match="unreadable baseline"):
+            load_baseline(bad)
+
+    def test_wrong_version_raises(self, tmp_path):
+        bad = tmp_path / "baseline.json"
+        bad.write_text('{"version": 99, "entries": []}')
+        with pytest.raises(ReproError, match="version"):
+            load_baseline(bad)
+
+    def test_discover_walks_up_from_root(self, tmp_path):
+        (tmp_path / ".analysis-baseline.json").write_text(
+            '{"version": 1, "entries": []}'
+        )
+        nested = tmp_path / "src" / "pkg"
+        nested.mkdir(parents=True)
+        assert discover_baseline(nested) == tmp_path / ".analysis-baseline.json"
+
+
+# ---------------------------------------------------------------------------
+# Parse cache and file iteration
+# ---------------------------------------------------------------------------
+
+
+class TestParseCacheAndIteration:
+    def test_cache_hit_on_unchanged_file(self, tmp_path):
+        target = tmp_path / "mod.py"
+        target.write_text("x = 1\n")
+        run_analysis(tmp_path, default_rules())
+        key = str(target.resolve())
+        assert key in _PARSE_CACHE
+        first = _PARSE_CACHE[key][2]
+        run_analysis(tmp_path, default_rules())
+        assert _PARSE_CACHE[key][2] is first
+
+    def test_cache_invalidated_on_change(self, tmp_path):
+        import os
+
+        target = tmp_path / "mod.py"
+        target.write_text("x = 1\n")
+        run_analysis(tmp_path, default_rules())
+        key = str(target.resolve())
+        first = _PARSE_CACHE[key][2]
+        target.write_text("x = 2  # changed\n")
+        os.utime(target, ns=(1, 1))  # force a distinct mtime
+        run_analysis(tmp_path, default_rules())
+        assert _PARSE_CACHE[key][2] is not first
+
+    def test_hidden_directories_are_skipped(self, tmp_path):
+        (tmp_path / ".hidden").mkdir()
+        (tmp_path / ".hidden" / "skipme.py").write_text(VIOLATION)
+        (tmp_path / "seen.py").write_text("x = 1\n")
+        files = list(iter_python_files(tmp_path))
+        assert [p.name for p in files] == ["seen.py"]
+
+    def test_findings_are_sorted_by_path_line_rule(self, tmp_path):
+        (tmp_path / "b.py").write_text(VIOLATION)
+        (tmp_path / "a.py").write_text("print('x')\nprint('y')\n")
+        findings = run_analysis(tmp_path, default_rules())
+        keys = [(f.path, f.line) for f in findings]
+        assert keys == sorted(keys)
+
+
+# ---------------------------------------------------------------------------
+# Parse errors
+# ---------------------------------------------------------------------------
+
+
+class TestParseErrors:
+    def test_syntax_error_becomes_parse_error_finding(self):
+        findings = analyze_source("def broken(:\n", default_rules())
+        assert [f.rule_id for f in findings] == [PARSE_ERROR_RULE]
+        assert "does not parse" in findings[0].message
+
+    def test_unparsable_file_does_not_abort_the_run(self, tmp_path):
+        (tmp_path / "bad.py").write_text("def broken(:\n")
+        (tmp_path / "good.py").write_text(VIOLATION)
+        findings = run_analysis(tmp_path, default_rules())
+        assert {f.rule_id for f in findings} == {PARSE_ERROR_RULE, "no-global-rng"}
+
+
+# ---------------------------------------------------------------------------
+# Finding rendering
+# ---------------------------------------------------------------------------
+
+
+def test_finding_render_and_dict():
+    finding = Finding(path="data/x.py", line=7, rule_id="r", message="m")
+    assert finding.render() == "data/x.py:7: r: m"
+    assert finding.render(prefix="src/repro") == "src/repro/data/x.py:7: r: m"
+    assert finding.to_dict() == {
+        "path": "data/x.py",
+        "line": 7,
+        "rule": "r",
+        "message": "m",
+    }
+
+
+def test_analyze_source_matches_textwrap_fixture_style():
+    source = textwrap.dedent(
+        """
+        import time
+
+        def f():
+            return time.time()
+        """
+    )
+    findings = analyze_source(source, [get_rule("no-wallclock-timing")])
+    assert [f.line for f in findings] == [5]

@@ -1,0 +1,65 @@
+"""Guard: the full invariant suite passes over ``src/repro``.
+
+This is the test that makes the contracts machine-enforced on every
+test run: no global RNG state, no bare prints, atomic-only
+persistence, monotonic timing, accurate ``__all__`` declarations, and
+the hygiene rules — see DESIGN.md "Coding invariants".  It absorbs the
+old ``tests/test_no_print.py`` (the ``no-print`` rule) and also keeps
+the ``scripts/check_no_print.py`` compat shim honest.
+"""
+
+import sys
+import time
+from pathlib import Path
+
+from repro.analysis import baseline_key, default_rules, load_baseline, run_analysis
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+SRC_ROOT = REPO_ROOT / "src" / "repro"
+BASELINE = REPO_ROOT / ".analysis-baseline.json"
+
+
+def _run_suite():
+    baseline = load_baseline(BASELINE) if BASELINE.is_file() else frozenset()
+    findings = run_analysis(SRC_ROOT, default_rules())
+    return [f for f in findings if baseline_key(f) not in baseline]
+
+
+def test_source_tree_satisfies_all_invariants():
+    findings = _run_suite()
+    rendered = "\n".join(f.render(prefix="src/repro") for f in findings)
+    assert not findings, f"invariant violations in src/:\n{rendered}"
+
+
+def test_full_suite_is_fast_enough_for_every_test_run():
+    """The acceptance bound: the whole suite finishes well inside 5 s."""
+    start = time.perf_counter()
+    _run_suite()
+    elapsed = time.perf_counter() - start
+    assert elapsed < 5.0, f"analysis took {elapsed:.2f}s (budget: 5s)"
+
+
+def test_check_no_print_shim_still_works():
+    """The documented ``scripts/check_no_print.py`` command still runs."""
+    scripts_dir = REPO_ROOT / "scripts"
+    sys.path.insert(0, str(scripts_dir))
+    try:
+        import check_no_print
+
+        violations = check_no_print.find_violations()
+    finally:
+        sys.path.remove(str(scripts_dir))
+    assert violations == [], (
+        "bare print() calls outside the rendering surfaces "
+        f"(use repro.utils.logging or repro.obs): {violations}"
+    )
+
+
+def test_baseline_file_is_checked_in_and_loadable():
+    """The repo ships a loadable (currently empty) baseline."""
+    assert BASELINE.is_file(), f"missing checked-in baseline {BASELINE}"
+    entries = load_baseline(BASELINE)
+    assert entries == frozenset(), (
+        "the baseline should stay empty now the tree is clean; new "
+        f"grandfathered entries need justification: {sorted(entries)}"
+    )

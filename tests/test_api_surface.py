@@ -7,6 +7,7 @@ import pytest
 
 PUBLIC_MODULES = [
     "repro",
+    "repro.analysis",
     "repro.apps",
     "repro.baselines",
     "repro.ckpt",
@@ -81,6 +82,48 @@ def test_ckpt_public_api_is_pinned():
         "CKPT_WRITE_LATENCY_BUCKETS",
         "CheckpointError",
     }
+
+
+def test_analysis_public_api_is_pinned():
+    """The static-analysis framework's surface is a compatibility contract."""
+    import repro.analysis
+
+    assert set(repro.analysis.__all__) == {
+        "ALL_RULES",
+        "AstRule",
+        "BASELINE_FILENAME",
+        "Finding",
+        "PARSE_ERROR_RULE",
+        "ParsedFile",
+        "Rule",
+        "analyze_source",
+        "baseline_key",
+        "default_rules",
+        "discover_baseline",
+        "get_rule",
+        "iter_python_files",
+        "load_baseline",
+        "main",
+        "parse_source",
+        "run_analysis",
+        "save_baseline",
+    }
+
+
+def test_pinned_api_rule_covers_the_public_modules():
+    """The pinned-api rule and this file's module list agree.
+
+    Every PUBLIC_MODULES package maps to an ``__init__.py`` under
+    ``src/repro`` that the rule requires to declare ``__all__`` — so a
+    package added here without a declared surface fails the analysis
+    guard, and vice versa.
+    """
+    import pathlib
+
+    src_root = pathlib.Path(__file__).resolve().parents[1] / "src"
+    for module_name in PUBLIC_MODULES:
+        init = src_root.joinpath(*module_name.split(".")) / "__init__.py"
+        assert init.is_file(), f"{module_name} is not a package under src/"
 
 
 def test_ckpt_types_reexported_from_top_level():
