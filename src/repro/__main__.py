@@ -1,0 +1,15 @@
+"""``python -m repro`` — delegates to :mod:`repro.cli`.
+
+Makes the documented spellings ``python -m repro serve ...`` and
+``python -m repro train ...`` work alongside the original
+``python -m repro.cli ...``.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -29,8 +29,20 @@ from repro.data.graph import SocialGraph
 from repro.diffusion.montecarlo import expected_spread
 from repro.diffusion.probabilities import EdgeProbabilities
 from repro.errors import EvaluationError
+from repro.serve.scoring import DEFAULT_BLOCK_SIZE, iter_source_rows
 from repro.utils.rng import SeedLike, ensure_rng
 from repro.utils.validation import check_positive_int, check_probability
+
+
+def _stable_sigmoid(x: np.ndarray) -> np.ndarray:
+    """``1 / (1 + e^-x)`` without overflow for strongly negative ``x``.
+
+    The naive form computes ``np.exp(-x)``, which overflows to ``inf``
+    (with a RuntimeWarning) once ``x < ~-709``; ``logaddexp`` evaluates
+    ``log(1 + e^-x)`` in the stable regime for either sign, so
+    ``exp(-logaddexp(0, -x))`` is exact-to-rounding everywhere.
+    """
+    return np.exp(-np.logaddexp(0.0, -np.asarray(x, dtype=np.float64)))
 
 
 @dataclass(frozen=True)
@@ -57,6 +69,7 @@ def embedding_edge_probabilities(
     embedding: InfluenceEmbedding,
     graph: SocialGraph,
     mean_probability: float = 0.05,
+    block_size: int = DEFAULT_BLOCK_SIZE,
 ) -> EdgeProbabilities:
     """Calibrated IC probabilities from learned influence scores.
 
@@ -70,6 +83,10 @@ def embedding_edge_probabilities(
     externally chosen (or ST-estimated) activity level preserves the
     learned ordering while giving IC simulation the absolute scale it
     needs.
+
+    Score rows are streamed through the blocked serving kernels
+    (``block_size`` rows of scratch at a time), so calibration works at
+    ``num_users`` far beyond what a dense score matrix would allow.
     """
     check_probability("mean_probability", mean_probability)
     if mean_probability in (0.0, 1.0):
@@ -78,16 +95,19 @@ def embedding_edge_probabilities(
     if edge_array.shape[0] == 0:
         return EdgeProbabilities(graph, np.empty(0))
     raw = embedding.score_pairs(edge_array[:, 0], edge_array[:, 1])
-    pairwise = (
-        embedding.source @ embedding.target.T
-        + embedding.source_bias[:, None]
-        + embedding.target_bias[None, :]
-    )
-    source_median = np.median(pairwise, axis=1)
-    scores = raw - source_median[edge_array[:, 0]]
+    # Per-source medians over all users, streamed in bounded row chunks
+    # for just the sources that actually carry edges — the old code
+    # materialised the full (num_users, num_users) score matrix here.
+    sources = np.unique(edge_array[:, 0])
+    median_by_source = np.empty(sources.shape[0], dtype=np.float64)
+    offset = 0
+    for users, rows in iter_source_rows(embedding, sources, block_size):
+        median_by_source[offset : offset + users.shape[0]] = np.median(rows, axis=1)
+        offset += users.shape[0]
+    scores = raw - median_by_source[np.searchsorted(sources, edge_array[:, 0])]
 
     def mean_sigmoid(shift: float) -> float:
-        return float(np.mean(1.0 / (1.0 + np.exp(-(scores - shift)))))
+        return float(np.mean(_stable_sigmoid(scores - shift)))
 
     low, high = scores.min() - 30.0, scores.max() + 30.0
     for _ in range(100):
@@ -97,7 +117,7 @@ def embedding_edge_probabilities(
         else:
             high = mid
     shift = (low + high) / 2.0
-    values = 1.0 / (1.0 + np.exp(-(scores - shift)))
+    values = _stable_sigmoid(scores - shift)
     return EdgeProbabilities(graph, np.clip(values, 0.0, 1.0))
 
 
@@ -180,6 +200,7 @@ def embedding_seed_selection(
     num_seeds: int,
     coverage_penalty: float = 0.5,
     top_k: int = 50,
+    block_size: int = DEFAULT_BLOCK_SIZE,
 ) -> SeedSelection:
     """Simulation-free seed selection from learned representations.
 
@@ -197,6 +218,10 @@ def embedding_seed_selection(
     every remaining candidate's potential is discounted by
     ``coverage_penalty * cosine(S_candidate, S_u)_+``, discouraging
     seeds that influence the same audience.
+
+    Potentials are computed from streamed score rows
+    (:func:`repro.serve.scoring.iter_source_rows`, ``block_size``
+    bounding scratch memory) — no dense score matrix is built.
     """
     num_seeds = check_positive_int("num_seeds", num_seeds)
     top_k = check_positive_int("top_k", top_k)
@@ -208,16 +233,17 @@ def embedding_seed_selection(
         raise EvaluationError(
             f"coverage_penalty must be >= 0, got {coverage_penalty}"
         )
-    pairwise = (
-        embedding.source @ embedding.target.T
-        + embedding.source_bias[:, None]
-        + embedding.target_bias[None, :]
-    )
-    centered = np.maximum(
-        pairwise - np.median(pairwise, axis=1, keepdims=True), 0.0
-    )
+    # Influence potentials streamed per source row: each user's row is
+    # centred on its own median and the top_k centred mass summed, one
+    # bounded chunk of rows at a time — the dense
+    # (num_users, num_users) matrix the old code built never exists.
     k = min(top_k, embedding.num_users)
-    base_scores = np.sort(centered, axis=1)[:, -k:].sum(axis=1)
+    base_scores = np.empty(embedding.num_users, dtype=np.float64)
+    for users, rows in iter_source_rows(embedding, block_size=block_size):
+        centered = np.maximum(
+            rows - np.median(rows, axis=1, keepdims=True), 0.0
+        )
+        base_scores[users] = np.sort(centered, axis=1)[:, -k:].sum(axis=1)
     norms = np.linalg.norm(embedding.source, axis=1)
     norms = np.where(norms > 0, norms, 1.0)
     directions = embedding.source / norms[:, None]

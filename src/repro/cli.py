@@ -21,6 +21,18 @@ checkpointing::
 After an interruption (SIGKILL, OOM, power loss), re-running the same
 command with ``--resume`` continues from the latest valid checkpoint to
 the same final embeddings an uninterrupted run would have produced.
+
+The ``serve`` command builds and queries the read-optimized influence
+serving layer (:mod:`repro.serve`)::
+
+    python -m repro serve --embedding run/embedding.npz --store-dir run/store
+    python -m repro serve --store-dir run/store --precompute-k 10
+    python -m repro serve --store-dir run/store --query 42 --top-k 10
+
+The first call converts a trained ``.npz`` embedding into a
+memory-mapped store; the second persists an exact top-k index next to
+it; the third answers "who does user 42 influence most" from the store
+(``--direction influencers`` asks the reverse question).
 """
 
 from __future__ import annotations
@@ -72,13 +84,14 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Reproduce the tables and figures of Inf2vec (ICDE 2018).",
     )
-    choices = list(EXPERIMENTS) + ["all", "train"]
+    choices = list(EXPERIMENTS) + ["all", "train", "serve"]
     parser.add_argument(
         "experiment",
         choices=choices,
         help=(
             "which table/figure to regenerate ('all' runs everything; "
-            "'train' runs one checkpointed training job)"
+            "'train' runs one checkpointed training job; 'serve' builds "
+            "and queries the influence serving layer)"
         ),
     )
     parser.add_argument(
@@ -160,6 +173,53 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="resume from the latest valid checkpoint in --checkpoint-dir",
     )
+
+    serving = parser.add_argument_group("serving options (serve command only)")
+    serving.add_argument(
+        "--store-dir",
+        metavar="DIR",
+        help="embedding store directory to build and/or query",
+    )
+    serving.add_argument(
+        "--embedding",
+        metavar="PATH",
+        help="build the store from this trained embedding .npz "
+        "(as written by train --out)",
+    )
+    serving.add_argument(
+        "--precompute-k",
+        type=int,
+        metavar="K",
+        help="precompute and persist an exact top-K index for --direction",
+    )
+    serving.add_argument(
+        "--query",
+        type=int,
+        action="append",
+        metavar="USER",
+        help="user id to query (repeatable)",
+    )
+    serving.add_argument(
+        "--top-k",
+        type=int,
+        default=10,
+        metavar="K",
+        help="results per query (default: 10)",
+    )
+    serving.add_argument(
+        "--direction",
+        choices=("influenced", "influencers"),
+        default="influenced",
+        help="rank who a user influences, or who influences them "
+        "(default: influenced)",
+    )
+    serving.add_argument(
+        "--block-size",
+        type=int,
+        default=None,
+        metavar="ROWS",
+        help="rows scanned per block on the live-scan path",
+    )
     return parser
 
 
@@ -209,6 +269,50 @@ def _run_training(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_serving(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    """The ``serve`` command: build, index, and query a store."""
+    from repro.core.embeddings import InfluenceEmbedding
+    from repro.serve import DEFAULT_BLOCK_SIZE, EmbeddingStore, InfluenceService
+
+    if not args.store_dir:
+        parser.error("serve requires --store-dir")
+    if args.embedding:
+        store = EmbeddingStore.save(
+            InfluenceEmbedding.load(args.embedding), args.store_dir
+        )
+        print(
+            f"store built at {args.store_dir}: "
+            f"{store.num_users} users, dim {store.dim}"
+        )
+    service = InfluenceService.open(
+        args.store_dir, block_size=args.block_size or DEFAULT_BLOCK_SIZE
+    )
+    if args.precompute_k:
+        service.precompute(args.precompute_k, directions=(args.direction,))
+        print(
+            f"precomputed top-{args.precompute_k} {args.direction} index "
+            f"for {service.num_users} users"
+        )
+    verb = "influenced by" if args.direction == "influenced" else "influencing"
+    for user in args.query or []:
+        result = (
+            service.top_influenced(user, args.top_k)
+            if args.direction == "influenced"
+            else service.top_influencers(user, args.top_k)
+        )
+        print(f"top {result.k} users {verb} user {user}:")
+        for rank, (other, score) in enumerate(
+            zip(result.indices, result.scores), start=1
+        ):
+            print(f"  {rank:>3}. user {int(other):<8} x = {float(score):+.6f}")
+    if not args.embedding and not args.precompute_k and not args.query:
+        print(
+            f"opened store at {args.store_dir}: {service.num_users} users, "
+            f"dim {service.store.dim}, indices {sorted(service.indices) or 'none'}"
+        )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
@@ -235,6 +339,12 @@ def main(argv: list[str] | None = None) -> int:
     if args.experiment == "train":
         with recording(run) if run is not None else nullcontext():
             exit_code = _run_training(args)
+        _write_telemetry(run, args)
+        return exit_code
+
+    if args.experiment == "serve":
+        with recording(run) if run is not None else nullcontext():
+            exit_code = _run_serving(args, parser)
         _write_telemetry(run, args)
         return exit_code
 

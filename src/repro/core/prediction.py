@@ -26,6 +26,7 @@ from repro.diffusion.montecarlo import activation_frequencies
 from repro.diffusion.probabilities import EdgeProbabilities
 from repro.diffusion.ic import activation_probability
 from repro.errors import EvaluationError
+from repro.serve.scoring import aggregated_scores
 from repro.utils.rng import SeedLike
 from repro.utils.validation import check_positive_int
 
@@ -64,11 +65,16 @@ class EmbeddingPredictor:
     ):
         self.embedding = embedding
         if callable(aggregator):
+            # A custom callable must stay on the custom path even when
+            # its __name__ collides with a builtin ("max", "sum", ...),
+            # so the builtin name is tracked separately from the label.
             self._aggregate = aggregator
             self._aggregator_name = getattr(aggregator, "__name__", "custom")
+            self._builtin_name: str | None = None
         else:
             self._aggregate = get_aggregator(aggregator)
             self._aggregator_name = aggregator.lower()
+            self._builtin_name = self._aggregator_name
 
     @property
     def aggregator_name(self) -> str:
@@ -88,30 +94,27 @@ class EmbeddingPredictor:
         return float(self._aggregate(scores))
 
     def diffusion_scores(self, seeds: Sequence[int]) -> np.ndarray:
-        """Aggregate ``x(seed, v)`` per user ``v``, vectorised.
+        """Aggregate ``x(seed, v)`` per user ``v``, blocked and vectorised.
 
-        The pairwise score matrix is ``(num_seeds, num_users)``; the
-        aggregator collapses the seed axis.  Seeds are assumed to be
-        given in activation order so ``latest`` keeps its meaning.
+        Routed through :func:`repro.serve.scoring.aggregated_scores`:
+        targets are scored in fixed-size blocks and reduced in place,
+        so at most ``num_seeds × block_size`` pairwise scores exist at
+        a time instead of the full ``(num_seeds, num_users)`` matrix.
+        Dispatch is on *whether a callable was supplied*, not on its
+        ``__name__`` — a custom callable that happens to be named
+        ``"max"`` is honoured, never silently swapped for the builtin.
+        Seeds are assumed to be given in activation order so
+        ``latest`` keeps its meaning.
         """
         seeds = np.asarray(seeds, dtype=np.int64)
         if seeds.shape[0] == 0:
             raise EvaluationError("diffusion_scores requires at least one seed")
-        emb = self.embedding
-        pairwise = (
-            emb.source[seeds] @ emb.target.T
-            + emb.source_bias[seeds][:, None]
-            + emb.target_bias[None, :]
+        aggregator = (
+            self._builtin_name
+            if self._builtin_name is not None
+            else self._aggregate
         )
-        if self._aggregator_name == "ave":
-            return pairwise.mean(axis=0)
-        if self._aggregator_name == "sum":
-            return pairwise.sum(axis=0)
-        if self._aggregator_name == "max":
-            return pairwise.max(axis=0)
-        if self._aggregator_name == "latest":
-            return pairwise[-1]
-        return np.apply_along_axis(self._aggregate, 0, pairwise)
+        return aggregated_scores(self.embedding, seeds, aggregator)
 
 
 class ICPredictor:

@@ -58,6 +58,16 @@ class DataGenerationError(ReproError):
     """
 
 
+class ServingError(ReproError):
+    """Raised for unusable serving-layer inputs or artifacts.
+
+    Examples include user ids outside ``[0, num_users)``, a top-k
+    request with ``k`` outside ``[1, num_users]``, or an embedding
+    store / top-k index directory whose shards are missing, truncated,
+    or inconsistent with their manifest.
+    """
+
+
 class CheckpointError(ReproError):
     """Raised for unusable training checkpoints.
 

@@ -152,11 +152,18 @@ class RankingEvaluator:
     _all_scores: list[np.ndarray] = field(default_factory=list)
     _all_labels: list[np.ndarray] = field(default_factory=list)
     _per_query_ap: list[float] = field(default_factory=list)
+    _num_empty: int = 0
 
     def add_query(self, scores: Sequence[float], labels: Sequence[int]) -> None:
-        """Record one query's ranked candidates."""
+        """Record one query's ranked candidates.
+
+        A query with no candidates contributes nothing to the pooled
+        metrics (there is nothing to rank) but still counts toward
+        :attr:`num_queries` — every recorded query is accounted for.
+        """
         scores, labels = _validate(np.asarray(scores), np.asarray(labels))
         if scores.shape[0] == 0:
+            self._num_empty += 1
             return
         self._all_scores.append(scores)
         self._all_labels.append(labels.astype(np.int64))
@@ -166,13 +173,15 @@ class RankingEvaluator:
 
     @property
     def num_queries(self) -> int:
-        """Number of queries recorded so far (with or without positives)."""
-        return len(self._all_scores)
+        """Number of queries recorded so far — empty ones included."""
+        return len(self._all_scores) + self._num_empty
 
     def result(self) -> EvaluationResult:
         """Final five-metric row over everything recorded so far."""
         if not self._all_scores:
-            raise EvaluationError("no queries recorded; nothing to evaluate")
+            raise EvaluationError(
+                "no queries with candidates recorded; nothing to evaluate"
+            )
         pooled_scores = np.concatenate(self._all_scores)
         pooled_labels = np.concatenate(self._all_labels)
         precision = {
@@ -186,7 +195,7 @@ class RankingEvaluator:
             auc=ranking_auc(pooled_scores, pooled_labels),
             map=mean_ap,
             precision_at=precision,
-            num_queries=len(self._all_scores),
+            num_queries=self.num_queries,
             num_candidates=int(pooled_scores.shape[0]),
             num_positives=int(pooled_labels.sum()),
         )

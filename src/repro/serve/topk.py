@@ -1,0 +1,174 @@
+"""Blocked exact top-k engine over the augmented-vector MIPS decomposition.
+
+Answers the two serving questions at bounded memory:
+
+* ``top_influenced(u, k)`` — the ``k`` users ``v`` maximising
+  ``x(u, v)``: a max-inner-product scan of the augmented *target* rows
+  with query ``[S_u ; b_u ; 1]``;
+* ``top_influencers(v, k)`` — the ``k`` users ``u`` maximising
+  ``x(u, v)``: the symmetric scan of the augmented *source* rows with
+  query ``[T_v ; 1 ; b̃_v]``.
+
+The database side is scanned in fixed-size row blocks
+(:func:`repro.serve.scoring.iter_blocks`); after each block the running
+candidates are merged and cut back to ``k``, so the engine never holds
+more than ``O(block_size × dim)`` scratch — the dense
+``(num_users, num_users)`` score matrix of the pre-serving code paths
+is gone.  Results are *exact* and bitwise-identical to a brute-force
+full-scan argsort: scores come from the deterministic ``einsum`` kernel
+(see :mod:`repro.serve.scoring`) and ties are broken by the smaller
+user id, which makes the ranking a total order independent of blocking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ServingError
+from repro.serve.scoring import (
+    DEFAULT_BLOCK_SIZE,
+    EmbeddingLike,
+    augment_sources,
+    augment_targets,
+    iter_blocks,
+    score_block,
+)
+from repro.utils.validation import check_positive_int
+
+__all__ = ["TopKResult", "TopKEngine"]
+
+
+@dataclass(frozen=True)
+class TopKResult:
+    """Ranked answer to one (or a batch of) top-k queries.
+
+    Attributes
+    ----------
+    indices:
+        User ids in rank order — shape ``(k,)`` for a single query,
+        ``(m, k)`` for a batch.
+    scores:
+        The matching influence scores ``x(u, v)``, same shape.
+    """
+
+    indices: np.ndarray
+    scores: np.ndarray
+
+    @property
+    def k(self) -> int:
+        """Number of ranked results per query."""
+        return int(self.indices.shape[-1])
+
+
+def _rank_topk(
+    scores: np.ndarray, indices: np.ndarray, k: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-row top-k of candidate ``(scores, indices)``, ties to low id.
+
+    ``np.lexsort`` orders each row by ``(-score, index)`` — descending
+    score, ascending user id on exact ties — which is a deterministic
+    total order, so cutting to ``k`` after every merge step commutes
+    with cutting once at the end (the property the bitwise tests pin).
+    """
+    order = np.lexsort((indices, -scores), axis=-1)[..., :k]
+    return (
+        np.take_along_axis(scores, order, axis=-1),
+        np.take_along_axis(indices, order, axis=-1),
+    )
+
+
+class TopKEngine:
+    """Exact blocked top-k queries over an embedding or embedding store.
+
+    Parameters
+    ----------
+    embedding:
+        Anything exposing ``source``/``target``/``source_bias``/
+        ``target_bias`` — an in-memory
+        :class:`~repro.core.embeddings.InfluenceEmbedding` or a
+        memory-mapped :class:`~repro.serve.store.EmbeddingStore`.
+    block_size:
+        Database rows scored per block; caps scratch memory at
+        ``block_size × (dim + 2)`` floats per scan.
+    """
+
+    def __init__(
+        self,
+        embedding: EmbeddingLike,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+    ):
+        self.embedding = embedding
+        self.block_size = check_positive_int("block_size", block_size)
+
+    @property
+    def num_users(self) -> int:
+        """Size of the user universe being served."""
+        return int(self.embedding.source.shape[0])
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def top_influenced(self, user: int, k: int) -> TopKResult:
+        """The ``k`` users most influenced by ``user``, best first."""
+        batch = self.top_influenced_batch([user], k)
+        return TopKResult(batch.indices[0], batch.scores[0])
+
+    def top_influencers(self, user: int, k: int) -> TopKResult:
+        """The ``k`` users most influencing ``user``, best first."""
+        batch = self.top_influencers_batch([user], k)
+        return TopKResult(batch.indices[0], batch.scores[0])
+
+    def top_influenced_batch(
+        self, users: Sequence[int], k: int
+    ) -> TopKResult:
+        """Batched :meth:`top_influenced` — one ranked row per query user."""
+        queries = augment_sources(self.embedding, users)
+        database = augment_targets(self.embedding)
+        return self._scan(queries, database, k)
+
+    def top_influencers_batch(
+        self, users: Sequence[int], k: int
+    ) -> TopKResult:
+        """Batched :meth:`top_influencers` — one ranked row per query user."""
+        queries = augment_targets(self.embedding, users)
+        database = augment_sources(self.embedding)
+        return self._scan(queries, database, k)
+
+    # ------------------------------------------------------------------
+    # Core scan
+    # ------------------------------------------------------------------
+
+    def _check_k(self, k: int) -> int:
+        k = check_positive_int("k", k)
+        if k > self.num_users:
+            raise ServingError(
+                f"k={k} exceeds num_users={self.num_users}"
+            )
+        return k
+
+    def _scan(
+        self, queries: np.ndarray, database: np.ndarray, k: int
+    ) -> TopKResult:
+        """Blocked exact MIPS: merge running top-k after every block."""
+        k = self._check_k(k)
+        if queries.shape[0] == 0:
+            raise ServingError("at least one query user is required")
+        num_queries = queries.shape[0]
+        best_scores = np.empty((num_queries, 0), dtype=np.float64)
+        best_indices = np.empty((num_queries, 0), dtype=np.int64)
+        for start, block in iter_blocks(database, self.block_size):
+            block_scores = score_block(queries, block)
+            block_indices = np.broadcast_to(
+                np.arange(start, start + block.shape[0], dtype=np.int64),
+                block_scores.shape,
+            )
+            best_scores, best_indices = _rank_topk(
+                np.concatenate([best_scores, block_scores], axis=1),
+                np.concatenate([best_indices, block_indices], axis=1),
+                k,
+            )
+        return TopKResult(indices=best_indices, scores=best_scores)

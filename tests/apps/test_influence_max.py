@@ -164,3 +164,54 @@ class TestEmbeddingEdgeProbabilities:
     def test_invalid_mean(self, graph, embedding):
         with pytest.raises(ValueError):
             embedding_edge_probabilities(embedding, graph, 1.5)
+
+    def test_stable_sigmoid_no_overflow_for_extreme_scores(self, graph):
+        """Regression: the naive ``exp(-(x - shift))`` overflowed to inf
+        with RuntimeWarnings for strongly negative centred scores."""
+        import warnings
+
+        rng = np.random.default_rng(0)
+        extreme = InfluenceEmbedding(
+            1000.0 * rng.normal(size=(5, 3)),
+            1000.0 * rng.normal(size=(5, 3)),
+            1000.0 * rng.normal(size=5),
+            1000.0 * rng.normal(size=5),
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", RuntimeWarning)
+            probs = embedding_edge_probabilities(extreme, graph, 0.05)
+        assert np.all(np.isfinite(probs.values))
+        assert np.all((probs.values >= 0.0) & (probs.values <= 1.0))
+
+    def test_stable_sigmoid_matches_naive_in_safe_range(self):
+        from repro.apps.influence_max import _stable_sigmoid
+
+        x = np.linspace(-30, 30, 101)
+        np.testing.assert_allclose(
+            _stable_sigmoid(x), 1.0 / (1.0 + np.exp(-x)), rtol=1e-14
+        )
+
+    def test_blocked_calibration_invariant_to_block_size(self, graph, embedding):
+        """Streamed per-source medians are bitwise block-size-invariant."""
+        probs = embedding_edge_probabilities(embedding, graph, 0.1, block_size=2)
+        default = embedding_edge_probabilities(embedding, graph, 0.1)
+        np.testing.assert_array_equal(probs.values, default.values)
+
+
+class TestBlockedSeedSelection:
+    @pytest.fixture
+    def embedding(self) -> InfluenceEmbedding:
+        rng = np.random.default_rng(17)
+        return InfluenceEmbedding(
+            rng.normal(size=(25, 4)),
+            rng.normal(size=(25, 4)),
+            rng.normal(size=25),
+            rng.normal(size=25),
+        )
+
+    def test_block_size_does_not_change_selection(self, embedding):
+        reference = embedding_seed_selection(embedding, 5)
+        for block_size in (1, 3, 64):
+            got = embedding_seed_selection(embedding, 5, block_size=block_size)
+            assert got.seeds == reference.seeds
+            assert got.marginal_gains == pytest.approx(reference.marginal_gains)

@@ -64,6 +64,35 @@ class TestEmbeddingPredictor:
     def test_aggregator_name_exposed(self, embedding):
         assert EmbeddingPredictor(embedding, "Max").aggregator_name == "max"
 
+    def test_custom_callable_named_like_builtin_is_honoured(self, embedding):
+        """Regression: dispatch keyed on whether a callable was supplied.
+
+        The old code dispatched on ``__name__``, so a custom callable
+        named ``max`` was silently replaced by the builtin max path.
+        """
+
+        def max(scores):  # noqa: A001 - the collision is the point
+            return float(np.min(scores))  # deliberately NOT a maximum
+
+        predictor = EmbeddingPredictor(embedding, max)
+        assert predictor.aggregator_name == "max"
+        scores = predictor.diffusion_scores([0, 1])
+        builtin = EmbeddingPredictor(embedding, "max").diffusion_scores([0, 1])
+        minimum = EmbeddingPredictor(
+            embedding, lambda s: float(np.min(s))
+        ).diffusion_scores([0, 1])
+        np.testing.assert_array_equal(scores, minimum)
+        assert not np.array_equal(scores, builtin)
+
+    def test_diffusion_never_builds_dense_user_matrix(self, embedding):
+        """Blocked scoring is bitwise-stable across block sizes."""
+        from repro.serve.scoring import aggregated_scores
+
+        reference = EmbeddingPredictor(embedding, "ave").diffusion_scores([0, 1])
+        for block_size in (1, 2, 1024):
+            blocked = aggregated_scores(embedding, [0, 1], "ave", block_size)
+            np.testing.assert_array_equal(blocked, reference)
+
 
 class TestICPredictor:
     @pytest.fixture

@@ -110,10 +110,31 @@ class TestRankingEvaluator:
         with pytest.raises(EvaluationError, match="no queries"):
             RankingEvaluator().result()
 
-    def test_empty_query_ignored(self):
+    def test_empty_query_counted_but_metric_free(self):
+        """Empty queries count toward num_queries (docstring contract)
+        without contributing candidates or positives to the pool."""
+        ev = RankingEvaluator(precision_cutoffs=(2,))
+        ev.add_query([], [])
+        assert ev.num_queries == 1
+        ev.add_query([3.0, 1.0], [1, 0])
+        ev.add_query([], [])
+        assert ev.num_queries == 3
+        result = ev.result()
+        assert result.num_queries == 3
+        assert result.num_candidates == 2
+        assert result.num_positives == 1
+        # Pooled metrics are identical to the same run without the
+        # empty queries.
+        solo = RankingEvaluator(precision_cutoffs=(2,))
+        solo.add_query([3.0, 1.0], [1, 0])
+        assert result.auc == solo.result().auc
+        assert result.map == solo.result().map
+
+    def test_only_empty_queries_still_raise(self):
         ev = RankingEvaluator()
         ev.add_query([], [])
-        assert ev.num_queries == 0
+        with pytest.raises(EvaluationError, match="no queries"):
+            ev.result()
 
     def test_result_row_layout(self):
         ev = RankingEvaluator(precision_cutoffs=(10, 50, 100))

@@ -1,0 +1,191 @@
+"""InfluenceService routing, index persistence, telemetry, and the CLI."""
+
+import numpy as np
+import pytest
+
+from repro.core.embeddings import InfluenceEmbedding
+from repro.errors import ServingError
+from repro.obs import RunRecorder, recording
+from repro.serve import (
+    EmbeddingStore,
+    InfluenceService,
+    TopKEngine,
+    TopKIndex,
+)
+
+
+@pytest.fixture
+def embedding() -> InfluenceEmbedding:
+    rng = np.random.default_rng(21)
+    return InfluenceEmbedding(
+        rng.normal(size=(40, 6)),
+        rng.normal(size=(40, 6)),
+        rng.normal(size=40),
+        rng.normal(size=40),
+    )
+
+
+@pytest.fixture
+def store_dir(embedding, tmp_path):
+    EmbeddingStore.save(embedding, tmp_path / "store")
+    return tmp_path / "store"
+
+
+class TestTopKIndex:
+    def test_build_matches_engine(self, embedding):
+        engine = TopKEngine(embedding, block_size=8)
+        index = TopKIndex.build(engine, k=7, batch_size=9)
+        for user in (0, 13, 39):
+            from_index = index.query(user)
+            from_engine = engine.top_influenced(user, 7)
+            np.testing.assert_array_equal(from_index.indices, from_engine.indices)
+            np.testing.assert_array_equal(from_index.scores, from_engine.scores)
+
+    def test_round_trip_is_mmapped_and_identical(self, embedding, store_dir):
+        engine = TopKEngine(embedding, block_size=8)
+        built = TopKIndex.build(engine, k=5, direction="influencers")
+        built.save(store_dir)
+        opened = TopKIndex.open(store_dir, "influencers")
+        assert isinstance(opened.indices, np.memmap)
+        assert not opened.indices.flags.writeable
+        np.testing.assert_array_equal(opened.indices, built.indices)
+        np.testing.assert_array_equal(opened.scores, built.scores)
+
+    def test_query_depth_validation(self, embedding):
+        index = TopKIndex.build(TopKEngine(embedding), k=5)
+        with pytest.raises(ServingError, match="depth"):
+            index.query(0, 6)
+        with pytest.raises(ServingError):
+            index.query(40)
+
+    def test_open_missing_raises(self, store_dir):
+        assert not TopKIndex.exists(store_dir)
+        with pytest.raises(ServingError, match="no persisted"):
+            TopKIndex.open(store_dir)
+
+    def test_k_clamped_to_num_users(self, embedding):
+        index = TopKIndex.build(TopKEngine(embedding), k=10_000)
+        assert index.k == embedding.num_users
+
+
+class TestInfluenceService:
+    def test_scan_path_matches_engine(self, embedding, store_dir):
+        service = InfluenceService.open(store_dir, block_size=8)
+        engine = TopKEngine(embedding, block_size=8)
+        got = service.top_influenced(4, 6)
+        ref = engine.top_influenced(4, 6)
+        np.testing.assert_array_equal(got.indices, ref.indices)
+        np.testing.assert_array_equal(got.scores, ref.scores)
+
+    def test_index_and_scan_paths_bitwise_identical(self, store_dir):
+        service = InfluenceService.open(store_dir, block_size=8)
+        scan = service.top_influenced(11, 6)
+        service.precompute(k=10, directions=("influenced",))
+        assert "influenced" in service.indices
+        indexed = service.top_influenced(11, 6)
+        np.testing.assert_array_equal(indexed.indices, scan.indices)
+        np.testing.assert_array_equal(indexed.scores, scan.scores)
+
+    def test_persisted_index_discovered_on_open(self, store_dir):
+        InfluenceService.open(store_dir).precompute(
+            k=4, directions=("influenced", "influencers")
+        )
+        reopened = InfluenceService.open(store_dir)
+        assert sorted(reopened.indices) == ["influenced", "influencers"]
+        # Deeper-than-index queries fall back to the scan path.
+        deep = reopened.top_influenced(0, 20)
+        assert deep.k == 20
+
+    def test_batched_queries(self, embedding, store_dir):
+        service = InfluenceService.open(store_dir, block_size=8)
+        users = [1, 2, 3]
+        batch = service.top_influencers_batch(users, 5)
+        engine = TopKEngine(embedding, block_size=8)
+        ref = engine.top_influencers_batch(users, 5)
+        np.testing.assert_array_equal(batch.indices, ref.indices)
+        np.testing.assert_array_equal(batch.scores, ref.scores)
+        service.precompute(k=5, directions=("influencers",))
+        indexed = service.top_influencers_batch(users, 5)
+        np.testing.assert_array_equal(indexed.indices, ref.indices)
+        np.testing.assert_array_equal(indexed.scores, ref.scores)
+
+    def test_queries_recorded_into_ambient_metrics(self, store_dir):
+        service = InfluenceService.open(store_dir)
+        run = RunRecorder(name="test.serve")
+        with recording(run):
+            service.top_influenced(0, 3)
+            service.precompute(k=3, directions=("influenced",))
+            service.top_influenced(1, 3)
+        snapshot = run.metrics.snapshot()
+        assert "serve.queries" in snapshot
+        samples = snapshot["serve.queries"]["samples"]
+        assert samples.get("direction=influenced,path=scan") == 1.0
+        assert samples.get("direction=influenced,path=index") == 1.0
+        assert "serve.query.seconds" in snapshot
+        span_names = [s["name"] for s in run.tracer.to_dicts()]
+        assert "serve.precompute.influenced" in span_names
+
+    def test_no_metrics_outside_recording_scope(self, store_dir):
+        service = InfluenceService.open(store_dir)
+        result = service.top_influenced(0, 3)  # must simply not raise
+        assert result.k == 3
+
+
+class TestServeCli:
+    def test_build_index_query_pipeline(self, embedding, tmp_path, capsys):
+        from repro.cli import main
+
+        emb_path = tmp_path / "emb.npz"
+        embedding.save(emb_path)
+        store = tmp_path / "store"
+        assert (
+            main(
+                [
+                    "serve",
+                    "--embedding",
+                    str(emb_path),
+                    "--store-dir",
+                    str(store),
+                    "--precompute-k",
+                    "5",
+                    "--query",
+                    "3",
+                    "--top-k",
+                    "5",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "store built" in out
+        assert "precomputed top-5" in out
+        assert "top 5 users influenced by user 3" in out
+        # Second invocation: query only, from the persisted artifacts.
+        assert (
+            main(
+                [
+                    "serve",
+                    "--store-dir",
+                    str(store),
+                    "--query",
+                    "3",
+                    "--direction",
+                    "influencers",
+                ]
+            )
+            == 0
+        )
+        assert "influencing user 3" in capsys.readouterr().out
+
+    def test_serve_requires_store_dir(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["serve"])
+
+    def test_serve_status_line(self, embedding, tmp_path, capsys):
+        from repro.cli import main
+
+        EmbeddingStore.save(embedding, tmp_path / "s")
+        assert main(["serve", "--store-dir", str(tmp_path / "s")]) == 0
+        assert "opened store" in capsys.readouterr().out

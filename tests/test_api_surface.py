@@ -18,6 +18,7 @@ PUBLIC_MODULES = [
     "repro.extensions",
     "repro.experiments",
     "repro.obs",
+    "repro.serve",
     "repro.utils",
     "repro.viz",
 ]
@@ -107,6 +108,32 @@ def test_analysis_public_api_is_pinned():
         "parse_source",
         "run_analysis",
         "save_baseline",
+    }
+
+
+def test_serve_public_api_is_pinned():
+    """The serving layer's surface is a compatibility contract."""
+    import repro.serve
+
+    assert set(repro.serve.__all__) == {
+        "DEFAULT_BLOCK_SIZE",
+        "EmbeddingLike",
+        "EmbeddingStore",
+        "INDEX_DIRECTIONS",
+        "INDEX_FORMAT_VERSION",
+        "InfluenceService",
+        "SERVE_LATENCY_BUCKETS",
+        "STORE_FORMAT_VERSION",
+        "STORE_MANIFEST_FILENAME",
+        "TopKEngine",
+        "TopKIndex",
+        "TopKResult",
+        "aggregated_scores",
+        "augment_sources",
+        "augment_targets",
+        "iter_blocks",
+        "iter_source_rows",
+        "score_block",
     }
 
 
