@@ -12,7 +12,13 @@ Reports p50/p99 latency and sustained QPS per workload into
 ``BENCH_serving.json`` at the repository root; service telemetry
 (query counters, latency histograms, precompute spans) is routed
 through :mod:`repro.obs` and persisted to
-``BENCH_serving_manifest.json`` alongside it.
+``BENCH_serving_manifest.json`` alongside it.  Every per-operation
+latency is also fed into a live ``bench.workload.latency`` streaming
+summary, whose quantiles are reported as ``live_p50_ms``/``live_p99_ms``
+per workload and cross-checked against the exact post-hoc percentiles
+(they must agree within :data:`LIVE_QUANTILE_TOLERANCE`); the final
+registry state is rendered to Prometheus text format at
+``BENCH_serving_exposition.prom``.
 
 Run standalone with ``python benchmarks/bench_serving.py`` (add
 ``--smoke`` for the fast CI working point) or under pytest-benchmark
@@ -30,9 +36,11 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.ckpt.atomic import atomic_write_text
 from repro.core.embeddings import InfluenceEmbedding
-from repro.obs import RunRecorder, recording
+from repro.obs import RunRecorder, active_metrics, recording, render_prometheus
 from repro.serve import DEFAULT_BLOCK_SIZE, EmbeddingStore, InfluenceService
+from repro.serve.service import SERVE_LATENCY_BUCKETS
 
 #: Acceptance working point: the digg_like preset at 2000 users.
 PRESET = dict(num_users=2000, dim=32)
@@ -45,6 +53,12 @@ CONCURRENCY = 8
 
 REPORT_PATH = Path(__file__).resolve().parents[1] / "BENCH_serving.json"
 MANIFEST_PATH = REPORT_PATH.with_name("BENCH_serving_manifest.json")
+EXPOSITION_PATH = REPORT_PATH.with_name("BENCH_serving_exposition.prom")
+
+#: Live streaming quantiles vs exact post-hoc percentiles: the default
+#: reservoir is exact below capacity, so per-workload counts here leave
+#: only float noise — 10% is the acceptance bound, not the expectation.
+LIVE_QUANTILE_TOLERANCE = 0.10
 
 
 def _percentile(latencies: list[float], q: float) -> float:
@@ -60,6 +74,32 @@ def _summarize(latencies: list[float], wall: float, queries_per_op: int) -> dict
         "p50_ms": _percentile(latencies, 50) * 1e3,
         "p99_ms": _percentile(latencies, 99) * 1e3,
         "qps": len(latencies) * queries_per_op / wall,
+    }
+
+
+def _record_workload(workload: str, latencies: list[float]) -> dict:
+    """Stream the measured latencies into the live instruments.
+
+    Feeds the exact per-operation latencies into the
+    ``bench.workload.latency`` summary and ``bench.workload.seconds``
+    histogram (labelled by workload), then reads the *live* p50/p99
+    back out of the summary — the values the exposition snapshot will
+    carry, to be cross-checked against the post-hoc percentiles.
+    """
+    metrics = active_metrics()
+    summary = metrics.summary(
+        "bench.workload.latency",
+        description="per-operation benchmark latency quantiles (seconds)",
+    )
+    summary.observe_many(latencies, workload=workload)
+    metrics.histogram(
+        "bench.workload.seconds",
+        SERVE_LATENCY_BUCKETS,
+        "per-operation benchmark latency",
+    ).observe_many(latencies, workload=workload)
+    return {
+        "live_p50_ms": summary.quantile(0.5, workload=workload) * 1e3,
+        "live_p99_ms": summary.quantile(0.99, workload=workload) * 1e3,
     }
 
 
@@ -139,27 +179,31 @@ def run_serving(
             single(users[0])
             batched(batches[0])
 
-            workloads["single_scan"] = _summarize(
-                *_time_loop(single, users), queries_per_op=1
-            )
-            workloads["batched_scan"] = _summarize(
-                *_time_loop(batched, batches), queries_per_op=BATCH_SIZE
-            )
-            workloads["single_scan_concurrent"] = _summarize(
-                *_time_concurrent(single, users, CONCURRENCY), queries_per_op=1
+            def measure(workload, timed, queries_per_op) -> None:
+                latencies, wall = timed
+                workloads[workload] = _summarize(
+                    latencies, wall, queries_per_op=queries_per_op
+                )
+                workloads[workload].update(
+                    _record_workload(workload, latencies)
+                )
+
+            measure("single_scan", _time_loop(single, users), 1)
+            measure("batched_scan", _time_loop(batched, batches), BATCH_SIZE)
+            measure(
+                "single_scan_concurrent",
+                _time_concurrent(single, users, CONCURRENCY),
+                1,
             )
 
             began = time.perf_counter()
             service.precompute(k=top_k, directions=("influenced",))
             precompute_seconds = time.perf_counter() - began
 
-            workloads["single_index"] = _summarize(
-                *_time_loop(single, users), queries_per_op=1
-            )
-            workloads["batched_index"] = _summarize(
-                *_time_loop(batched, batches), queries_per_op=BATCH_SIZE
-            )
+            measure("single_index", _time_loop(single, users), 1)
+            measure("batched_index", _time_loop(batched, batches), BATCH_SIZE)
     write_manifest(run)
+    write_exposition(run)
 
     return {
         "preset": "digg_like",
@@ -173,7 +217,10 @@ def run_serving(
         "store_build_seconds": store_build_seconds,
         "precompute_seconds": precompute_seconds,
         "workloads": workloads,
-        "telemetry": {"manifest": MANIFEST_PATH.name},
+        "telemetry": {
+            "manifest": MANIFEST_PATH.name,
+            "exposition": EXPOSITION_PATH.name,
+        },
     }
 
 
@@ -185,6 +232,11 @@ def write_report(results: dict, path: Path = REPORT_PATH) -> None:
 def write_manifest(run: RunRecorder, path: Path = MANIFEST_PATH) -> None:
     """Persist the telemetry run manifest beside the latency report."""
     run.write(path)
+
+
+def write_exposition(run: RunRecorder, path: Path = EXPOSITION_PATH) -> None:
+    """Render the final registry state as Prometheus text format."""
+    atomic_write_text(path, render_prometheus(run.metrics.snapshot()))
 
 
 def print_report(results: dict) -> None:
@@ -217,9 +269,26 @@ def test_serving_latency(benchmark):
     ), results
     manifest = json.loads(MANIFEST_PATH.read_text())
     assert "serve.queries" in manifest["metrics"], manifest["metrics"].keys()
+    assert "bench.workload.latency" in manifest["metrics"]
     assert any(
         s["name"] == "serve.precompute.influenced" for s in manifest["spans"]
     )
+    # Acceptance: the live streaming quantiles in the exposition agree
+    # with the exact post-hoc percentiles for every workload.
+    for name, row in results["workloads"].items():
+        for live_key, exact_key in (
+            ("live_p50_ms", "p50_ms"),
+            ("live_p99_ms", "p99_ms"),
+        ):
+            live, exact = row[live_key], row[exact_key]
+            assert abs(live - exact) <= LIVE_QUANTILE_TOLERANCE * exact, (
+                name,
+                live_key,
+                live,
+                exact,
+            )
+    assert EXPOSITION_PATH.is_file()
+    assert "bench_workload_latency" in EXPOSITION_PATH.read_text()
 
 
 def main() -> int:

@@ -8,12 +8,14 @@ implementation (``ContextGenerator(batched=False)`` +
 are persisted to ``BENCH_training.json`` at the repository root.
 
 Run standalone with ``python benchmarks/bench_training_throughput.py``
-or under pytest-benchmark with
+(add ``--smoke`` for the fast CI working point) or under
+pytest-benchmark with
 ``pytest benchmarks/bench_training_throughput.py --benchmark-only``.
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 from pathlib import Path
 
@@ -25,6 +27,8 @@ from repro.utils.timer import timed
 
 #: Acceptance working point: the digg_like preset at 2000 users.
 PRESET = dict(num_users=2000, num_items=300)
+#: CI working point: same code paths, seconds instead of minutes.
+SMOKE_PRESET = dict(num_users=400, num_items=60)
 BENCH_SEED = 20180416  # ICDE 2018 week, arbitrary but memorable
 DIM = 32
 
@@ -171,7 +175,25 @@ def test_training_throughput(benchmark):
     assert any(s["name"] == "train_epoch" for s in manifest["spans"])
 
 
-if __name__ == "__main__":
-    results = run_throughput()
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="fast CI working point (small dataset, same code paths)",
+    )
+    args = parser.parse_args()
+    if args.smoke:
+        results = run_throughput(
+            num_users=SMOKE_PRESET["num_users"],
+            num_items=SMOKE_PRESET["num_items"],
+        )
+    else:
+        results = run_throughput()
     print_report(results)
     write_report(results)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

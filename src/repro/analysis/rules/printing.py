@@ -9,6 +9,7 @@ surfaces:
 * ``cli.py`` — the command-line front end;
 * ``viz/ascii.py`` — the ASCII chart renderer;
 * ``analysis/cli.py`` — the static-analysis runner's own output;
+* ``obs/regress.py`` — the perf-regression gate's report output;
 * functions named ``main`` or ``print_*`` under ``experiments/`` —
   each experiment's documented "print the table/figure" contract.
 
@@ -24,7 +25,9 @@ from typing import Iterable, Sequence
 from repro.analysis.core import AstRule, Finding, ParsedFile
 
 #: Root-relative files where ``print()`` is the module's purpose.
-DEFAULT_ALLOWED_FILES = frozenset({"cli.py", "viz/ascii.py", "analysis/cli.py"})
+DEFAULT_ALLOWED_FILES = frozenset(
+    {"cli.py", "viz/ascii.py", "analysis/cli.py", "obs/regress.py"}
+)
 
 #: Directory whose ``main``/``print_*`` functions may render to stdout.
 DEFAULT_RENDERER_DIR = "experiments/"
@@ -57,7 +60,7 @@ class NoPrintRule(AstRule):
     description = (
         "library code reports via repro.utils.logging / repro.obs; "
         "print() is reserved for cli.py, viz/ascii.py, analysis/cli.py, "
-        "and experiments' main/print_* renderers"
+        "obs/regress.py, and experiments' main/print_* renderers"
     )
 
     def __init__(

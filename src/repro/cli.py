@@ -10,7 +10,12 @@ corresponding table/figure, e.g.::
 ``all`` runs every experiment in paper order — the one-command full
 reproduction.  ``--metrics-out`` / ``--trace-out`` turn on the
 ``repro.obs`` telemetry for the whole invocation and write the run
-manifest / span trace afterwards.
+manifest / span trace afterwards — including on SIGTERM, via the
+flush-on-exit hooks in :mod:`repro.obs.export`.  ``--telemetry-dir``
+additionally starts a :class:`~repro.obs.export.PeriodicExporter`
+that atomically rewrites a Prometheus-text exposition snapshot plus
+manifest/trace into the directory every ``--export-every`` seconds
+while the command runs.
 
 The ``train`` command runs one crash-safe Inf2vec training job with
 checkpointing::
@@ -44,6 +49,7 @@ from typing import Callable, Mapping
 
 from repro.ckpt import CheckpointManager
 from repro.obs import RunRecorder, recording
+from repro.obs.export import PeriodicExporter, on_process_exit
 from repro.experiments import (
     fig1_2_powerlaw,
     fig3_cdf,
@@ -115,6 +121,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace-out",
         metavar="PATH",
         help="record telemetry and write the span trace JSONL here",
+    )
+    parser.add_argument(
+        "--telemetry-dir",
+        metavar="DIR",
+        help="record telemetry and periodically export a Prometheus-text "
+        "snapshot + manifest + trace into this directory while running",
+    )
+    parser.add_argument(
+        "--export-every",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help="exposition rewrite cadence for --telemetry-dir (default: 5)",
     )
 
     training = parser.add_argument_group(
@@ -220,6 +239,14 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="ROWS",
         help="rows scanned per block on the live-scan path",
     )
+    serving.add_argument(
+        "--trace-sample",
+        type=float,
+        default=0.0,
+        metavar="RATE",
+        help="fraction of single queries emitted as serve.query spans "
+        "(head-based, seeded; default: 0)",
+    )
     return parser
 
 
@@ -285,7 +312,10 @@ def _run_serving(args: argparse.Namespace, parser: argparse.ArgumentParser) -> i
             f"{store.num_users} users, dim {store.dim}"
         )
     service = InfluenceService.open(
-        args.store_dir, block_size=args.block_size or DEFAULT_BLOCK_SIZE
+        args.store_dir,
+        block_size=args.block_size or DEFAULT_BLOCK_SIZE,
+        trace_sample_rate=args.trace_sample,
+        trace_seed=args.seed,
     )
     if args.precompute_k:
         service.precompute(args.precompute_k, directions=(args.direction,))
@@ -331,50 +361,75 @@ def main(argv: list[str] | None = None) -> int:
     else:
         names = [args.experiment]
 
-    telemetry = args.metrics_out is not None or args.trace_out is not None
+    telemetry = (
+        args.metrics_out is not None
+        or args.trace_out is not None
+        or args.telemetry_dir is not None
+    )
     run = RunRecorder(name=args.experiment) if telemetry else None
     if run is not None:
         run.annotate(scale=args.scale, seed=args.seed)
 
-    if args.experiment == "train":
+    exporter: PeriodicExporter | None = None
+    unregister = None
+    try:
         with recording(run) if run is not None else nullcontext():
-            exit_code = _run_training(args)
-        _write_telemetry(run, args)
-        return exit_code
-
-    if args.experiment == "serve":
-        with recording(run) if run is not None else nullcontext():
-            exit_code = _run_serving(args, parser)
-        _write_telemetry(run, args)
-        return exit_code
-
-    with recording(run) if run is not None else nullcontext():
-        for name in names:
-            description, runner = EXPERIMENTS[name]
-            print(
-                f"=== {description} (scale={args.scale}, seed={args.seed}) ==="
-            )
             if run is not None:
-                with run.span(f"experiment.{name}", scale=args.scale):
-                    runner(args.scale, args.seed)
+                if args.metrics_out or args.trace_out:
+                    # A killed run (SIGTERM) still flushes its files.
+                    # Registered before the exporter starts so that once
+                    # any telemetry file is observable on disk, every
+                    # flush hook is in place.
+                    unregister = on_process_exit(
+                        lambda: _write_telemetry(run, args, announce=False)
+                    )
+                if args.telemetry_dir:
+                    exporter = PeriodicExporter(
+                        run, args.telemetry_dir, every=args.export_every
+                    )
+                    exporter.start()
+            if args.experiment == "train":
+                exit_code = _run_training(args)
+            elif args.experiment == "serve":
+                exit_code = _run_serving(args, parser)
             else:
-                runner(args.scale, args.seed)
-            print()
+                exit_code = 0
+                for name in names:
+                    description, runner = EXPERIMENTS[name]
+                    print(
+                        f"=== {description} "
+                        f"(scale={args.scale}, seed={args.seed}) ==="
+                    )
+                    if run is not None:
+                        with run.span(f"experiment.{name}", scale=args.scale):
+                            runner(args.scale, args.seed)
+                    else:
+                        runner(args.scale, args.seed)
+                    print()
+    finally:
+        if exporter is not None:
+            exporter.stop()
+        if unregister is not None:
+            unregister()
 
     _write_telemetry(run, args)
-    return 0
+    return exit_code
 
 
-def _write_telemetry(run: RunRecorder | None, args: argparse.Namespace) -> None:
+def _write_telemetry(
+    run: RunRecorder | None, args: argparse.Namespace, announce: bool = True
+) -> None:
     """Write the manifest/trace files when telemetry was requested."""
     if run is None:
         return
     if args.metrics_out:
         run.write(args.metrics_out)
-        print(f"run manifest written to {args.metrics_out}")
+        if announce:
+            print(f"run manifest written to {args.metrics_out}")
     if args.trace_out:
         run.write_trace(args.trace_out)
-        print(f"span trace written to {args.trace_out}")
+        if announce:
+            print(f"span trace written to {args.trace_out}")
 
 
 if __name__ == "__main__":

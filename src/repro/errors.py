@@ -76,3 +76,13 @@ class CheckpointError(ReproError):
     whose fingerprint differs from the one the checkpoint was written
     under.
     """
+
+
+class TelemetryError(ReproError):
+    """Raised on telemetry misuse.
+
+    Examples include registering one instrument name under two
+    different types, re-declaring a histogram with different bucket
+    edges or a summary with different target quantiles, and requesting
+    a quantile outside ``[0, 1]``.
+    """

@@ -1,15 +1,24 @@
-"""repro.obs — training telemetry: metrics, span tracing, run manifests.
+"""repro.obs — live telemetry: metrics, tracing, exposition, gating.
 
-Three pieces, all opt-in and zero-overhead when off:
+All opt-in and zero-overhead when off:
 
 * :mod:`repro.obs.metrics` — labelled counters/gauges/fixed-bucket
-  histograms behind a thread-safe :class:`MetricsRegistry` (the shared
-  :data:`NULL_REGISTRY` is the disabled default);
+  histograms/streaming-quantile summaries behind a thread-safe
+  :class:`MetricsRegistry` (the shared :data:`NULL_REGISTRY` is the
+  disabled default);
+* :mod:`repro.obs.quantiles` — the bounded-memory estimators
+  (:class:`P2Quantile`, :class:`ReservoirSampler`) feeding
+  :class:`Summary`;
 * :mod:`repro.obs.tracing` — nestable ``span()`` context managers
-  producing an exportable span tree (:data:`NULL_TRACER` when off);
-* :mod:`repro.obs.run` — :class:`RunRecorder` combining both with a
-  config fingerprint into a run-manifest JSON, plus the ambient
-  ``with recording(run):`` opt-in scope.
+  producing an exportable span tree (:data:`NULL_TRACER` when off),
+  plus :class:`HeadSampler` for seeded head-based span sampling;
+* :mod:`repro.obs.export` — Prometheus-text exposition rendering, the
+  :class:`PeriodicExporter` snapshot thread, and flush-on-exit hooks;
+* :mod:`repro.obs.run` — :class:`RunRecorder` combining metrics and
+  tracing with a config fingerprint into a run-manifest JSON, plus the
+  ambient ``with recording(run):`` opt-in scope;
+* :mod:`repro.obs.regress` — the perf-regression gate over persisted
+  ``BENCH_*.json`` reports (``python -m repro.obs.regress``).
 
 Quickstart::
 
@@ -22,6 +31,11 @@ Quickstart::
     print(run.tracer.flame_text())
 """
 
+from repro.obs.export import (
+    PeriodicExporter,
+    on_process_exit,
+    render_prometheus,
+)
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -29,8 +43,10 @@ from repro.obs.metrics import (
     MetricsRegistry,
     NULL_REGISTRY,
     NullRegistry,
+    Summary,
     TelemetryError,
 )
+from repro.obs.quantiles import P2Quantile, ReservoirSampler
 from repro.obs.run import (
     NULL_RUN,
     RunRecorder,
@@ -40,20 +56,27 @@ from repro.obs.run import (
     recording,
     resolve_run,
 )
-from repro.obs.tracing import NULL_TRACER, NullTracer, Span, Tracer
+from repro.obs.tracing import NULL_TRACER, HeadSampler, NullTracer, Span, Tracer
 
 __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "Summary",
     "MetricsRegistry",
     "NullRegistry",
     "NULL_REGISTRY",
     "TelemetryError",
+    "P2Quantile",
+    "ReservoirSampler",
     "Span",
     "Tracer",
     "NullTracer",
     "NULL_TRACER",
+    "HeadSampler",
+    "PeriodicExporter",
+    "on_process_exit",
+    "render_prometheus",
     "RunRecorder",
     "NULL_RUN",
     "recording",

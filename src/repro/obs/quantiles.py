@@ -1,0 +1,260 @@
+"""Streaming quantile estimation for live telemetry.
+
+Serving a query stream at rate means latency quantiles must be
+available *while the process runs*, without retaining every sample —
+the post-hoc ``sorted(latencies)`` approach of the benchmark drivers
+does not survive into a long-lived ``repro serve`` process.  Two
+bounded-memory estimators live here, both feeding the ``Summary``
+instrument in :mod:`repro.obs.metrics`:
+
+* :class:`P2Quantile` — the Jain & Chlamtac P² algorithm: five markers
+  per tracked quantile, O(1) memory and update cost, fully
+  deterministic (no RNG at all).  Exact until five observations have
+  arrived, a parabolic-interpolation estimate afterwards.
+* :class:`ReservoirSampler` — a fixed-capacity uniform reservoir
+  (Vitter's algorithm R) driven by an explicitly seeded
+  ``numpy.random.Generator`` per the repository's ``no-global-rng``
+  invariant.  *Exact* for any quantile while the stream fits in the
+  reservoir, an unbiased sample estimate beyond it; count/sum/min/max
+  are always exact.
+
+The reservoir is the default ``Summary`` backend because benchmark
+acceptance compares live quantiles against exact post-hoc ones — below
+capacity the two are identical by construction.  P² is the choice when
+per-label memory must stay constant regardless of traffic.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import TelemetryError
+
+__all__ = [
+    "DEFAULT_RESERVOIR_CAPACITY",
+    "P2Quantile",
+    "ReservoirSampler",
+    "check_quantile",
+]
+
+#: Default reservoir size: exact quantiles for the first 4096
+#: observations per label set, ~32 KiB of float64 at saturation.
+DEFAULT_RESERVOIR_CAPACITY = 4096
+
+
+def check_quantile(q: float) -> float:
+    """Validate that ``q`` is a quantile in ``[0, 1]`` and return it."""
+    q = float(q)
+    if not 0.0 <= q <= 1.0:
+        raise TelemetryError(f"quantile must be in [0, 1], got {q}")
+    return q
+
+
+class P2Quantile:
+    """Streaming estimate of one quantile via the P² algorithm.
+
+    Jain & Chlamtac (1985): five markers whose heights track the
+    minimum, the target quantile, the midpoints, and the maximum.
+    Marker heights move by parabolic (fallback linear) interpolation as
+    observations arrive, so the estimate needs no stored samples and no
+    randomness.  Until five observations exist the exact order
+    statistic is returned.
+    """
+
+    __slots__ = ("q", "_heights", "_positions", "_desired", "_increments")
+
+    def __init__(self, q: float):
+        self.q = check_quantile(q)
+        self._heights: list[float] = []
+        self._positions = np.array([1.0, 2.0, 3.0, 4.0, 5.0])
+        self._desired = np.array(
+            [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0]
+        )
+        self._increments = np.array([0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0])
+
+    @property
+    def count(self) -> int:
+        """Number of observations seen so far."""
+        if len(self._heights) < 5:
+            return len(self._heights)
+        return int(self._positions[4])
+
+    def observe(self, value: float) -> None:
+        """Fold one observation into the estimate."""
+        value = float(value)
+        if len(self._heights) < 5:
+            self._heights.append(value)
+            self._heights.sort()
+            return
+        heights = self._heights
+        if value < heights[0]:
+            heights[0] = value
+            cell = 0
+        elif value >= heights[4]:
+            heights[4] = value
+            cell = 3
+        else:
+            cell = 0
+            while value >= heights[cell + 1]:
+                cell += 1
+        self._positions[cell + 1 :] += 1.0
+        self._desired += self._increments
+        for i in (1, 2, 3):
+            self._adjust(i)
+
+    def _adjust(self, i: int) -> None:
+        """Move marker ``i`` one step toward its desired position."""
+        heights = self._heights
+        positions = self._positions
+        delta = self._desired[i] - positions[i]
+        if (delta >= 1.0 and positions[i + 1] - positions[i] > 1.0) or (
+            delta <= -1.0 and positions[i - 1] - positions[i] < -1.0
+        ):
+            step = 1.0 if delta >= 1.0 else -1.0
+            candidate = self._parabolic(i, step)
+            if heights[i - 1] < candidate < heights[i + 1]:
+                heights[i] = candidate
+            else:
+                heights[i] = self._linear(i, step)
+            positions[i] += step
+
+    def _parabolic(self, i: int, step: float) -> float:
+        h = self._heights
+        n = self._positions
+        return h[i] + step / (n[i + 1] - n[i - 1]) * (
+            (n[i] - n[i - 1] + step)
+            * (h[i + 1] - h[i])
+            / (n[i + 1] - n[i])
+            + (n[i + 1] - n[i] - step)
+            * (h[i] - h[i - 1])
+            / (n[i] - n[i - 1])
+        )
+
+    def _linear(self, i: int, step: float) -> float:
+        h = self._heights
+        n = self._positions
+        j = i + int(step)
+        return h[i] + step * (h[j] - h[i]) / (n[j] - n[i])
+
+    def value(self) -> float | None:
+        """The current quantile estimate (``None`` before any data)."""
+        if not self._heights:
+            return None
+        if len(self._heights) < 5:
+            # Exact order statistic over the few samples seen so far.
+            rank = self.q * (len(self._heights) - 1)
+            lower = int(np.floor(rank))
+            upper = int(np.ceil(rank))
+            weight = rank - lower
+            return (
+                self._heights[lower] * (1.0 - weight)
+                + self._heights[upper] * weight
+            )
+        return self._heights[2]
+
+    def __repr__(self) -> str:
+        return f"P2Quantile(q={self.q}, count={self.count})"
+
+
+class ReservoirSampler:
+    """Fixed-capacity uniform sample of a stream, plus exact moments.
+
+    Vitter's algorithm R over an explicitly seeded Generator: the first
+    ``capacity`` observations are kept verbatim (quantiles are then
+    *exact*); beyond that each new observation replaces a uniformly
+    chosen slot with probability ``capacity / count``, keeping the
+    reservoir a uniform sample of the whole stream.  ``count``,
+    ``total``, ``minimum``, and ``maximum`` are tracked exactly
+    regardless of capacity.
+    """
+
+    __slots__ = ("capacity", "_rng", "_values", "_count", "_total", "_min", "_max")
+
+    def __init__(
+        self, capacity: int = DEFAULT_RESERVOIR_CAPACITY, seed: int = 0
+    ):
+        capacity = int(capacity)
+        if capacity <= 0:
+            raise TelemetryError(
+                f"reservoir capacity must be positive, got {capacity}"
+            )
+        self.capacity = capacity
+        self._rng = np.random.default_rng(seed)
+        self._values = np.empty(capacity, dtype=np.float64)
+        self._count = 0
+        self._total = 0.0
+        self._min = np.inf
+        self._max = -np.inf
+
+    @property
+    def count(self) -> int:
+        """Exact number of observations seen."""
+        return self._count
+
+    @property
+    def total(self) -> float:
+        """Exact sum of every observation."""
+        return self._total
+
+    @property
+    def minimum(self) -> float | None:
+        """Exact minimum (``None`` before any data)."""
+        return None if self._count == 0 else float(self._min)
+
+    @property
+    def maximum(self) -> float | None:
+        """Exact maximum (``None`` before any data)."""
+        return None if self._count == 0 else float(self._max)
+
+    @property
+    def exact(self) -> bool:
+        """Whether quantiles are currently exact (stream fits in reservoir)."""
+        return self._count <= self.capacity
+
+    def observe(self, value: float) -> None:
+        """Fold one observation into the reservoir."""
+        value = float(value)
+        self._total += value
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+        if self._count < self.capacity:
+            self._values[self._count] = value
+        else:
+            slot = int(self._rng.integers(0, self._count + 1))
+            if slot < self.capacity:
+                self._values[slot] = value
+        self._count += 1
+
+    def observe_many(self, values: Iterable[float]) -> None:
+        """Fold a batch of observations, one at a time."""
+        for value in values:
+            self.observe(value)
+
+    def samples(self) -> np.ndarray:
+        """Copy of the retained sample values (unordered)."""
+        return self._values[: min(self._count, self.capacity)].copy()
+
+    def quantile(self, q: float) -> float | None:
+        """Estimated ``q``-quantile (``None`` before any data).
+
+        Linear-interpolated over the retained sample — identical to
+        ``np.percentile`` over the full stream while :attr:`exact`.
+        """
+        q = check_quantile(q)
+        if self._count == 0:
+            return None
+        return float(np.quantile(self.samples(), q))
+
+    def quantiles(self, qs: Sequence[float]) -> list[float | None]:
+        """Batch :meth:`quantile` for several targets."""
+        return [self.quantile(q) for q in qs]
+
+    def __repr__(self) -> str:
+        return (
+            f"ReservoirSampler(capacity={self.capacity}, "
+            f"count={self._count}, exact={self.exact})"
+        )

@@ -10,15 +10,22 @@ routing is purely a latency decision.
 
 Telemetry follows the repo's null-default contract: inside a
 ``with recording(run):`` scope every query increments
-``serve.queries`` (labelled by direction and path) and observes its
-latency into ``serve.query.seconds``; outside a scope the cost is one
-attribute check.  Batch entry points additionally open a span so
-benchmark traces show where serving time goes.
+``serve.queries`` (labelled by direction and path), observes its
+latency into both the ``serve.query.seconds`` histogram and the
+``serve.query.latency`` streaming-quantile summary (live p50/p95/p99
+without retaining samples), and failed queries increment the
+``serve.query.errors`` counter (labelled by direction and error type)
+before the exception propagates; outside a scope the cost is one
+attribute check.  Batch entry points additionally open a span, and a
+``trace_sample_rate`` > 0 head-samples single queries into
+``serve.query`` spans (direction, path, k, latency) cheap enough to
+leave on under load.
 """
 
 from __future__ import annotations
 
 import time
+from contextlib import nullcontext
 from pathlib import Path
 from typing import Sequence, Union
 
@@ -26,6 +33,7 @@ import numpy as np
 
 from repro.errors import ServingError
 from repro.obs.run import active_metrics, active_run
+from repro.obs.tracing import HeadSampler
 from repro.serve.index import INDEX_DIRECTIONS, TopKIndex
 from repro.serve.scoring import DEFAULT_BLOCK_SIZE
 from repro.serve.store import EmbeddingStore
@@ -66,6 +74,20 @@ def _record_query(direction: str, path: str, seconds: float) -> None:
     metrics.histogram(
         "serve.query.seconds", SERVE_LATENCY_BUCKETS, "per-query latency"
     ).observe(seconds, direction=direction, path=path)
+    metrics.summary(
+        "serve.query.latency",
+        description="live per-query latency quantiles (seconds)",
+    ).observe(seconds, direction=direction, path=path)
+
+
+def _record_error(direction: str, error: BaseException) -> None:
+    """Count one failed query (the exception still propagates)."""
+    metrics = active_metrics()
+    if not metrics.enabled:
+        return
+    metrics.counter(
+        "serve.query.errors", "failed top-k influence queries"
+    ).inc(direction=direction, error=type(error).__name__)
 
 
 class InfluenceService:
@@ -80,6 +102,11 @@ class InfluenceService:
     indices:
         Pre-opened top-k indices by direction; :meth:`open` discovers
         persisted ones automatically.
+    trace_sample_rate:
+        Fraction of single queries to emit as ``serve.query`` spans
+        (head-based, seeded; 0 disables sampling entirely).
+    trace_seed:
+        Seed for the sampling Generator (no-global-rng invariant).
     """
 
     def __init__(
@@ -87,14 +114,21 @@ class InfluenceService:
         store: EmbeddingStore,
         block_size: int = DEFAULT_BLOCK_SIZE,
         indices: dict[str, TopKIndex] | None = None,
+        trace_sample_rate: float = 0.0,
+        trace_seed: int = 0,
     ):
         self.store = store
         self.engine = TopKEngine(store, block_size=block_size)
         self.indices = dict(indices or {})
+        self.sampler = HeadSampler(trace_sample_rate, seed=trace_seed)
 
     @classmethod
     def open(
-        cls, directory: PathLike, block_size: int = DEFAULT_BLOCK_SIZE
+        cls,
+        directory: PathLike,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+        trace_sample_rate: float = 0.0,
+        trace_seed: int = 0,
     ) -> "InfluenceService":
         """Open the store at ``directory`` plus any persisted indices."""
         store = EmbeddingStore.open(directory)
@@ -103,7 +137,13 @@ class InfluenceService:
             for direction in INDEX_DIRECTIONS
             if TopKIndex.exists(directory, direction)
         }
-        return cls(store, block_size=block_size, indices=indices)
+        return cls(
+            store,
+            block_size=block_size,
+            indices=indices,
+            trace_sample_rate=trace_sample_rate,
+            trace_seed=trace_seed,
+        )
 
     @property
     def num_users(self) -> int:
@@ -122,21 +162,48 @@ class InfluenceService:
         """The ``k`` users most influencing ``user``, best first."""
         return self._query("influencers", user, k)
 
-    def _query(self, direction: str, user: int, k: int) -> TopKResult:
-        start = time.perf_counter()
-        index = self.indices.get(direction)
-        if index is not None and k <= index.k:
-            result = index.query(user, k)
-            path = "index"
-        else:
-            scan = (
-                self.engine.top_influenced
-                if direction == "influenced"
-                else self.engine.top_influencers
+    def _check_user(self, user: int) -> int:
+        """Validate a user id against the served universe."""
+        user = int(user)
+        if not 0 <= user < self.num_users:
+            raise ServingError(
+                f"user {user} outside served universe "
+                f"[0, {self.num_users})"
             )
-            result = scan(user, k)
-            path = "scan"
-        _record_query(direction, path, time.perf_counter() - start)
+        return user
+
+    def _query(self, direction: str, user: int, k: int) -> TopKResult:
+        run = active_run()
+        sampled = run.enabled and self.sampler.sample()
+        span_cm = (
+            run.span("serve.query", direction=direction, user=int(user), k=int(k))
+            if sampled
+            else nullcontext(None)
+        )
+        start = time.perf_counter()
+        with span_cm as span:
+            try:
+                user = self._check_user(user)
+                index = self.indices.get(direction)
+                if index is not None and k <= index.k:
+                    result = index.query(user, k)
+                    path = "index"
+                else:
+                    scan = (
+                        self.engine.top_influenced
+                        if direction == "influenced"
+                        else self.engine.top_influencers
+                    )
+                    result = scan(user, k)
+                    path = "scan"
+            except BaseException as exc:
+                _record_error(direction, exc)
+                raise
+            seconds = time.perf_counter() - start
+            if span is not None:
+                span.set_attribute("path", path)
+                span.set_attribute("latency_s", seconds)
+        _record_query(direction, path, seconds)
         return result
 
     # ------------------------------------------------------------------
@@ -159,21 +226,26 @@ class InfluenceService:
         index = self.indices.get(direction)
         with active_run().span(
             f"serve.batch.{direction}", num_queries=int(users.shape[0]), k=k
-        ):
-            if index is not None and k <= index.k:
-                result = TopKResult(
-                    indices=np.asarray(index.indices[users, :k]),
-                    scores=np.asarray(index.scores[users, :k]),
-                )
-                path = "index"
-            else:
-                scan = (
-                    self.engine.top_influenced_batch
-                    if direction == "influenced"
-                    else self.engine.top_influencers_batch
-                )
-                result = scan(users, k)
-                path = "scan"
+        ) as span:
+            try:
+                if index is not None and k <= index.k:
+                    result = TopKResult(
+                        indices=np.asarray(index.indices[users, :k]),
+                        scores=np.asarray(index.scores[users, :k]),
+                    )
+                    path = "index"
+                else:
+                    scan = (
+                        self.engine.top_influenced_batch
+                        if direction == "influenced"
+                        else self.engine.top_influencers_batch
+                    )
+                    result = scan(users, k)
+                    path = "scan"
+            except BaseException as exc:
+                _record_error(direction, exc)
+                raise
+            span.set_attribute("path", path)
         _record_query(direction, path, time.perf_counter() - start)
         return result
 
@@ -214,7 +286,9 @@ class InfluenceService:
         """Full-depth index rows for ``users`` (index must exist)."""
         index = self.indices.get(direction)
         if index is None:
-            raise ServingError(f"no {direction!r} index is loaded")
+            error = ServingError(f"no {direction!r} index is loaded")
+            _record_error(direction, error)
+            raise error
         users = np.asarray(users, dtype=np.int64)
         return TopKResult(
             indices=np.asarray(index.indices[users]),

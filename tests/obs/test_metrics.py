@@ -154,3 +154,145 @@ class TestNullRegistry:
     def test_shared_instrument_instance(self):
         # One no-op object for everything: the hot path never allocates.
         assert NULL_REGISTRY.counter("a") is NULL_REGISTRY.gauge("b")
+
+
+class TestSummary:
+    def test_quantiles_exact_under_reservoir_capacity(self):
+        rng = np.random.default_rng(2)
+        data = rng.lognormal(mean=-7.0, sigma=0.8, size=500)
+        summary = MetricsRegistry().summary("s", quantiles=(0.5, 0.99))
+        summary.observe_many(data)
+        for q in (0.5, 0.99):
+            assert summary.quantile(q) == pytest.approx(
+                float(np.quantile(data, q))
+            )
+
+    def test_labelled_series_are_independent(self):
+        summary = MetricsRegistry().summary("s", quantiles=(0.5,))
+        summary.observe_many([1.0, 2.0, 3.0], path="a")
+        summary.observe(100.0, path="b")
+        assert summary.quantile(0.5, path="a") == pytest.approx(2.0)
+        assert summary.quantile(0.5, path="b") == pytest.approx(100.0)
+        assert summary.quantile(0.5, path="never") is None
+
+    def test_p2_backend_tracks_declared_quantiles_only(self):
+        summary = MetricsRegistry().summary(
+            "s", quantiles=(0.5, 0.9), backend="p2"
+        )
+        rng = np.random.default_rng(4)
+        data = rng.normal(size=2000)
+        summary.observe_many(data)
+        assert summary.quantile(0.9) == pytest.approx(
+            float(np.quantile(data, 0.9)), rel=0.05
+        )
+        with pytest.raises(TelemetryError):
+            summary.quantile(0.75)  # undeclared target under p2
+
+    def test_snapshot_carries_quantiles_and_moments(self):
+        import json
+
+        registry = MetricsRegistry()
+        registry.summary("s", quantiles=(0.5,)).observe_many([1.0, 3.0])
+        sample = registry.snapshot()["s"]["samples"][""]
+        assert sample["count"] == 2
+        assert sample["sum"] == pytest.approx(4.0)
+        assert sample["min"] == 1.0 and sample["max"] == 3.0
+        assert sample["quantiles"]["0.5"] == pytest.approx(2.0)
+        json.dumps(registry.snapshot())  # must not raise
+
+    def test_quantile_target_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.summary("s", quantiles=(0.5,))
+        with pytest.raises(TelemetryError):
+            registry.summary("s", quantiles=(0.9,))
+
+    def test_type_mismatch_with_histogram_raises(self):
+        registry = MetricsRegistry()
+        registry.histogram("m", buckets=(1.0,))
+        with pytest.raises(TelemetryError):
+            registry.summary("m")
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(TelemetryError):
+            MetricsRegistry().summary("s", backend="magic")
+
+    def test_null_summary_is_silent(self):
+        summary = NULL_REGISTRY.summary("s")
+        summary.observe(1.0)
+        assert summary.quantile(0.5) is None
+
+
+class TestHistogramQuantile:
+    def test_interpolates_within_buckets(self):
+        hist = MetricsRegistry().histogram("h", buckets=(1.0, 2.0, 4.0))
+        hist.observe_many([0.5, 1.5, 1.5, 3.0])
+        # p50 falls in the (1, 2] bucket; interpolation stays inside it.
+        assert 1.0 <= hist.quantile(0.5) <= 2.0
+
+    def test_overflow_quantile_clamps_to_last_edge(self):
+        hist = MetricsRegistry().histogram("h", buckets=(1.0,))
+        hist.observe_many([5.0, 6.0])
+        assert hist.quantile(0.99) == 1.0
+
+    def test_empty_reads_none(self):
+        hist = MetricsRegistry().histogram("h", buckets=(1.0,))
+        assert hist.quantile(0.5) is None
+
+
+class TestConcurrencyHammer:
+    def test_parallel_writes_snapshots_and_renders(self):
+        """N writer threads vs a snapshotting reader vs an exporter."""
+        from repro.obs.export import render_prometheus
+
+        registry = MetricsRegistry()
+        errors = []
+        stop = threading.Event()
+        per_thread, num_writers = 500, 6
+
+        def writer(tid: int) -> None:
+            try:
+                for i in range(per_thread):
+                    registry.counter("hammer.count").inc(thread=tid)
+                    registry.histogram(
+                        "hammer.seconds", buckets=(0.5, 1.0)
+                    ).observe(i % 2, thread=tid)
+                    registry.summary(
+                        "hammer.latency", quantiles=(0.5,)
+                    ).observe(float(i), thread=tid)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        def reader() -> None:
+            try:
+                while not stop.is_set():
+                    render_prometheus(registry.snapshot())
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=writer, args=(tid,))
+            for tid in range(num_writers)
+        ]
+        snapshotter = threading.Thread(target=reader)
+        snapshotter.start()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        stop.set()
+        snapshotter.join()
+
+        assert errors == []
+        for tid in range(num_writers):
+            assert registry.counter("hammer.count").value(
+                thread=tid
+            ) == pytest.approx(per_thread)
+            assert (
+                registry.summary("hammer.latency", quantiles=(0.5,)).count(
+                    thread=tid
+                )
+                == per_thread
+            )
+        # The final render must parse as complete exposition text.
+        text = render_prometheus(registry.snapshot())
+        assert "hammer_count" in text and "hammer_latency_count" in text

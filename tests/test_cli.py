@@ -86,6 +86,33 @@ class TestMain:
         ]
         assert rows[0]["name"] == "experiment.table1"
 
+    def test_telemetry_dir_exports_exposition_snapshot(
+        self, capsys, monkeypatch, tmp_path
+    ):
+        monkeypatch.setitem(
+            EXPERIMENTS,
+            "table1",
+            ("Table I — dataset statistics", lambda scale, seed: None),
+        )
+        telemetry_dir = tmp_path / "tele"
+        exit_code = main(
+            ["table1", "--telemetry-dir", str(telemetry_dir)]
+        )
+        assert exit_code == 0
+        capsys.readouterr()
+
+        import json
+
+        assert sorted(p.name for p in telemetry_dir.iterdir()) == [
+            "manifest.json",
+            "metrics.prom",
+            "trace.jsonl",
+        ]
+        manifest = json.loads((telemetry_dir / "manifest.json").read_text())
+        assert manifest["name"] == "table1"
+        exposition = (telemetry_dir / "metrics.prom").read_text()
+        assert exposition == "" or "# TYPE" in exposition
+
     def test_no_telemetry_flags_no_files(self, capsys, monkeypatch, tmp_path):
         monkeypatch.setitem(
             EXPERIMENTS,
