@@ -7,6 +7,14 @@ implementation (``ContextGenerator(batched=False)`` +
 (CSR-batched walks + fused micro-batched SGD).  The measured speedups
 are persisted to ``BENCH_training.json`` at the repository root.
 
+A second section measures the hogwild engine's scaling: the same
+preset trained at each ``--workers`` count, with per-count epoch
+throughput, speedup over one worker, and scaling efficiency
+(speedup / workers) recorded under ``parallel.workers``.  Scaling
+beyond 1.0x needs real cores — on a single-core machine the honest
+result is efficiency ~ 1/workers, and the report records whatever the
+host actually delivers (``parallel.cpu_count`` says what that was).
+
 Run standalone with ``python benchmarks/bench_training_throughput.py``
 (add ``--smoke`` for the fast CI working point) or under
 pytest-benchmark with
@@ -17,12 +25,14 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 from pathlib import Path
 
 from repro.core.context import ContextConfig, ContextGenerator
 from repro.core.inf2vec import Inf2vecConfig, Inf2vecModel
 from repro.data.synthetic import SyntheticSocialDataset
 from repro.obs import RunRecorder, recording
+from repro.parallel import HogwildTrainer
 from repro.utils.timer import timed
 
 #: Acceptance working point: the digg_like preset at 2000 users.
@@ -31,6 +41,13 @@ PRESET = dict(num_users=2000, num_items=300)
 SMOKE_PRESET = dict(num_users=400, num_items=60)
 BENCH_SEED = 20180416  # ICDE 2018 week, arbitrary but memorable
 DIM = 32
+
+#: Worker counts for the hogwild scaling section.
+SCALING_WORKERS = (1, 2, 4)
+SMOKE_SCALING_WORKERS = (1, 2)
+#: Epochs per scaling run; the first epoch absorbs process start-up and
+#: corpus generation, so throughput is read from the later epochs.
+SCALING_EPOCHS = 3
 
 REPORT_PATH = Path(__file__).resolve().parents[1] / "BENCH_training.json"
 MANIFEST_PATH = REPORT_PATH.with_name("BENCH_training_manifest.json")
@@ -125,6 +142,67 @@ def run_throughput(
     }
 
 
+def run_scaling(
+    num_users: int = PRESET["num_users"],
+    num_items: int = PRESET["num_items"],
+    dim: int = DIM,
+    seed: int = BENCH_SEED,
+    worker_counts: tuple[int, ...] = SCALING_WORKERS,
+) -> dict:
+    """Hogwild epoch throughput at each worker count on the preset.
+
+    One trainer per count, same data and config; per-count throughput
+    is positives/second over the post-warm-up epochs, and the derived
+    columns are ``speedup_vs_1`` and ``scaling_efficiency``
+    (speedup / workers).
+    """
+    data = SyntheticSocialDataset.digg_like(
+        num_users=num_users, num_items=num_items, seed=seed
+    )
+    config = Inf2vecConfig(
+        dim=dim,
+        context=ContextConfig(length=50, alpha=0.1),
+        epochs=SCALING_EPOCHS,
+        convergence_tol=0.0,
+    )
+    positives = sum(
+        len(context)
+        for context in ContextGenerator(
+            data.graph, config.context, seed=seed, batched=True
+        ).generate(data.log)
+    )
+
+    columns: dict[str, dict] = {}
+    baseline_rate = None
+    for workers in worker_counts:
+        trainer = HogwildTrainer(config, workers=workers, seed=seed)
+        trainer.fit(data.graph, data.log)
+        # Skip the first epoch: it overlaps worker start-up noise.
+        steady = trainer.epoch_seconds[1:] or trainer.epoch_seconds
+        epoch_seconds = sum(steady) / len(steady)
+        rate = positives / epoch_seconds if epoch_seconds > 0 else 0.0
+        if baseline_rate is None:
+            baseline_rate = rate
+        speedup = rate / baseline_rate if baseline_rate else 0.0
+        columns[str(workers)] = {
+            "epoch_seconds": epoch_seconds,
+            "examples_per_sec": rate,
+            "speedup_vs_1": speedup,
+            "scaling_efficiency": speedup / workers,
+        }
+    return {
+        "preset": "digg_like",
+        "num_users": num_users,
+        "num_items": num_items,
+        "dim": dim,
+        "seed": seed,
+        "epochs_timed": SCALING_EPOCHS,
+        "positives_per_epoch": positives,
+        "cpu_count": os.cpu_count(),
+        "workers": columns,
+    }
+
+
 def write_report(results: dict, path: Path = REPORT_PATH) -> None:
     """Persist the measured speedups next to the repository root."""
     path.write_text(json.dumps(results, indent=2) + "\n")
@@ -154,12 +232,32 @@ def print_report(results: dict) -> None:
         f"{telemetry['enabled_seconds']:>11.2f}s"
         f"{telemetry['overhead_fraction']:>+8.1%}"
     )
+    parallel = results.get("parallel")
+    if parallel:
+        print(
+            f"\nHogwild scaling — {parallel['positives_per_epoch']} "
+            f"positives/epoch, host cpu_count={parallel['cpu_count']}"
+        )
+        print(
+            f"{'workers':<10}{'epoch':>10}{'examples/s':>13}"
+            f"{'speedup':>9}{'efficiency':>12}"
+        )
+        for workers, row in parallel["workers"].items():
+            print(
+                f"{workers:<10}{row['epoch_seconds']:>9.2f}s"
+                f"{row['examples_per_sec']:>13.0f}"
+                f"{row['speedup_vs_1']:>8.2f}x"
+                f"{row['scaling_efficiency']:>12.2f}"
+            )
 
 
 def test_training_throughput(benchmark):
     from conftest import run_once
 
     results = run_once(benchmark, run_throughput)
+    results["parallel"] = run_scaling(
+        num_users=results["num_users"], num_items=results["num_items"]
+    )
     print_report(results)
     write_report(results)
     # Regression guard: the batched engine must stay clearly ahead of
@@ -182,14 +280,32 @@ def main() -> int:
         action="store_true",
         help="fast CI working point (small dataset, same code paths)",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        action="append",
+        metavar="N",
+        help="hogwild worker count to measure (repeatable; default: "
+        f"{SCALING_WORKERS}, or {SMOKE_SCALING_WORKERS} with --smoke)",
+    )
     args = parser.parse_args()
-    if args.smoke:
-        results = run_throughput(
-            num_users=SMOKE_PRESET["num_users"],
-            num_items=SMOKE_PRESET["num_items"],
-        )
-    else:
-        results = run_throughput()
+    preset = SMOKE_PRESET if args.smoke else PRESET
+    worker_counts = tuple(
+        args.workers
+        if args.workers
+        else (SMOKE_SCALING_WORKERS if args.smoke else SCALING_WORKERS)
+    )
+    if 1 not in worker_counts:
+        worker_counts = (1,) + worker_counts  # speedup needs the baseline
+    worker_counts = tuple(sorted(set(worker_counts)))
+    results = run_throughput(
+        num_users=preset["num_users"], num_items=preset["num_items"]
+    )
+    results["parallel"] = run_scaling(
+        num_users=preset["num_users"],
+        num_items=preset["num_items"],
+        worker_counts=worker_counts,
+    )
     print_report(results)
     write_report(results)
     return 0

@@ -77,17 +77,23 @@ class CheckpointManager:
         entry_rng_state: dict | None = None,
         metrics: MetricsRegistry = NULL_REGISTRY,
         force: bool = False,
+        worker_topology: dict | None = None,
     ) -> Path | None:
         """Save at the configured cadence; returns the path or ``None``.
 
         ``force`` bypasses the cadence (used for the final epoch and for
         early-convergence exits, so the terminal state is always on
-        disk).
+        disk).  ``worker_topology`` is stamped into the state by the
+        parallel trainer (see :class:`~repro.ckpt.state.TrainingState`).
         """
         if not force and (epoch + 1) % self.every != 0:
             return None
         return self.save(
-            model, epoch, entry_rng_state=entry_rng_state, metrics=metrics
+            model,
+            epoch,
+            entry_rng_state=entry_rng_state,
+            metrics=metrics,
+            worker_topology=worker_topology,
         )
 
     def save(
@@ -96,10 +102,14 @@ class CheckpointManager:
         epoch: int,
         entry_rng_state: dict | None = None,
         metrics: MetricsRegistry = NULL_REGISTRY,
+        worker_topology: dict | None = None,
     ) -> Path:
         """Capture, atomically write, prune, and record one checkpoint."""
         state = TrainingState.capture(
-            model, epoch, entry_rng_state=entry_rng_state
+            model,
+            epoch,
+            entry_rng_state=entry_rng_state,
+            worker_topology=worker_topology,
         )
         path = self.path_for_epoch(epoch)
         started = time.perf_counter()

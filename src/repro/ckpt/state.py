@@ -60,26 +60,26 @@ _REQUIRED_KEYS = (
 )
 
 
+def _json_default(value: object) -> object:
+    """JSON fallback for RNG-state members (ndarrays, numpy ints)."""
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, np.integer):
+        return int(value)
+    raise TypeError(f"cannot encode RNG state member {type(value).__name__}")
+
+
 def _encode_rng_state(state: dict) -> str:
     """JSON-encode a ``Generator.bit_generator.state`` dict.
 
     PCG64 state is plain (big) ints; MT19937 carries a uint32 key array
     — both serialise through the ndarray-to-list fallback.
     """
-
-    def _default(value: object) -> object:
-        if isinstance(value, np.ndarray):
-            return value.tolist()
-        if isinstance(value, np.integer):
-            return int(value)
-        raise TypeError(f"cannot encode RNG state member {type(value).__name__}")
-
-    return json.dumps(state, default=_default)
+    return json.dumps(state, default=_json_default)
 
 
-def _decode_rng_state(text: str) -> dict:
-    """Invert :func:`_encode_rng_state` (rebuilding MT19937's key array)."""
-    state = json.loads(text)
+def _rebuild_rng_state(state: object) -> dict:
+    """Validate a decoded RNG state (rebuilding MT19937's key array)."""
     if not isinstance(state, dict) or "bit_generator" not in state:
         raise CheckpointError("checkpoint RNG state is not a bit-generator dict")
     if state.get("bit_generator") == "MT19937":
@@ -87,6 +87,57 @@ def _decode_rng_state(text: str) -> dict:
         if isinstance(inner, dict) and isinstance(inner.get("key"), list):
             inner["key"] = np.asarray(inner["key"], dtype=np.uint32)
     return state
+
+
+def _decode_rng_state(text: str) -> dict:
+    """Invert :func:`_encode_rng_state`."""
+    return _rebuild_rng_state(json.loads(text))
+
+
+def _encode_worker_topology(topology: dict | None) -> str:
+    """JSON-encode the optional parallel-trainer worker topology.
+
+    Consistency is enforced here, at write time, so an inconsistent
+    topology (worker count not matching the per-worker state lists)
+    can never reach disk and poison a future resume.
+    """
+    if topology is None:
+        return "null"
+    workers = int(topology.get("workers", 0))
+    if (
+        workers < 1
+        or len(topology.get("entry_rng_states", ())) != workers
+        or len(topology.get("rng_states", ())) != workers
+    ):
+        raise CheckpointError(
+            "worker topology is inconsistent: workers must be >= 1 and "
+            "match the per-worker RNG state lists"
+        )
+    return json.dumps(topology, default=_json_default)
+
+
+def _decode_worker_topology(text: str) -> dict | None:
+    """Invert :func:`_encode_worker_topology`, validating the shape."""
+    data = json.loads(text)
+    if data is None:
+        return None
+    if not isinstance(data, dict):
+        raise CheckpointError("checkpoint worker topology is not a mapping")
+    try:
+        topology = {
+            "workers": int(data["workers"]),
+            "entry_rng_states": [
+                _rebuild_rng_state(state) for state in data["entry_rng_states"]
+            ],
+            "rng_states": [
+                _rebuild_rng_state(state) for state in data["rng_states"]
+            ],
+        }
+    except (KeyError, TypeError, ValueError) as exc:
+        raise CheckpointError(
+            f"checkpoint worker topology is malformed: {exc}"
+        ) from exc
+    return topology
 
 
 def _as_text(value: np.ndarray) -> str:
@@ -116,6 +167,17 @@ class TrainingState:
     entry_rng_state:
         The bit-state at ``fit()`` entry, before context generation —
         resume replays it so the regenerated corpus is identical.
+    worker_topology:
+        ``None`` for single-process checkpoints.  Checkpoints written
+        by the hogwild parallel trainer carry a mapping with
+        ``workers`` (the worker count), ``entry_rng_states`` (each
+        worker's spawn-derived birth state, replayed so workers
+        regenerate their exact shard corpora), and ``rng_states`` (each
+        worker's stream at the end of ``epoch``).  Resume-equivalence
+        is *per worker count*: the parallel trainer refuses a topology
+        whose worker count differs from its own, and the single-process
+        engine refuses parallel checkpoints outright.  The key is
+        optional on load, so pre-topology checkpoints remain readable.
     """
 
     source: np.ndarray
@@ -127,6 +189,7 @@ class TrainingState:
     config_fingerprint: str
     rng_state: dict = field(repr=False)
     entry_rng_state: dict = field(repr=False)
+    worker_topology: dict | None = field(default=None, repr=False)
 
     # ------------------------------------------------------------------
     # Capture / restore
@@ -138,6 +201,7 @@ class TrainingState:
         model: "Inf2vecModel",
         epoch: int,
         entry_rng_state: dict | None = None,
+        worker_topology: dict | None = None,
     ) -> "TrainingState":
         """Snapshot a fitted model at the end of ``epoch``.
 
@@ -164,6 +228,7 @@ class TrainingState:
             config_fingerprint=fingerprint,
             rng_state=rng_state,
             entry_rng_state=copy.deepcopy(entry_rng_state),
+            worker_topology=copy.deepcopy(worker_topology),
         )
 
     def to_embedding(self) -> "InfluenceEmbedding":
@@ -207,6 +272,11 @@ class TrainingState:
                 ),
                 entry_rng_state=np.bytes_(
                     _encode_rng_state(self.entry_rng_state).encode("utf-8")
+                ),
+                worker_topology=np.bytes_(
+                    _encode_worker_topology(self.worker_topology).encode(
+                        "utf-8"
+                    )
                 ),
             )
         return final
@@ -261,6 +331,14 @@ class TrainingState:
                     entry_rng_state=_decode_rng_state(
                         _as_text(data["entry_rng_state"])
                     ),
+                    # Optional: absent from pre-parallel checkpoints.
+                    worker_topology=(
+                        _decode_worker_topology(
+                            _as_text(data["worker_topology"])
+                        )
+                        if "worker_topology" in data.files
+                        else None
+                    ),
                 )
         except CheckpointError:
             raise
@@ -300,6 +378,21 @@ class TrainingState:
             )
         if not self.config_fingerprint:
             raise CheckpointError(f"{source}: empty config fingerprint")
+        if self.worker_topology is not None:
+            topology = self.worker_topology
+            workers = int(topology.get("workers", 0))
+            entry_states = topology.get("entry_rng_states", ())
+            states = topology.get("rng_states", ())
+            if (
+                workers < 1
+                or len(entry_states) != workers
+                or len(states) != workers
+            ):
+                raise CheckpointError(
+                    f"{source}: worker topology is inconsistent "
+                    f"(workers={workers}, {len(entry_states)} entry states, "
+                    f"{len(states)} states)"
+                )
 
     @property
     def num_users(self) -> int:

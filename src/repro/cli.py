@@ -27,6 +27,13 @@ After an interruption (SIGKILL, OOM, power loss), re-running the same
 command with ``--resume`` continues from the latest valid checkpoint to
 the same final embeddings an uninterrupted run would have produced.
 
+``--workers N`` switches training to the hogwild shared-memory engine
+(:mod:`repro.parallel`): N processes update one shared parameter block
+lock-free, and ``--stream-chunk E`` additionally streams each worker's
+corpus in E-episode chunks so memory stays bounded as ``--num-users``
+grows.  Checkpoints written with ``--workers`` resume only at the same
+worker count (see DESIGN.md §14 for the determinism contract).
+
 The ``serve`` command builds and queries the read-optimized influence
 serving layer (:mod:`repro.serve`)::
 
@@ -192,6 +199,24 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="resume from the latest valid checkpoint in --checkpoint-dir",
     )
+    training.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="train with N hogwild worker processes over shared-memory "
+        "parameters (default: single-process engine; N=1 runs the "
+        "parallel engine deterministically)",
+    )
+    training.add_argument(
+        "--stream-chunk",
+        type=int,
+        default=None,
+        metavar="EPISODES",
+        help="stream the training corpus in chunks of this many episodes "
+        "per worker instead of materialising it (requires --workers and "
+        "uniform negative sampling)",
+    )
 
     serving = parser.add_argument_group("serving options (serve command only)")
     serving.add_argument(
@@ -278,14 +303,34 @@ def _run_training(args: argparse.Namespace) -> int:
                 )
             else:
                 print(f"resuming from checkpoint at epoch {state.epoch}")
+    if args.stream_chunk is not None and args.workers is None:
+        raise SystemExit("--stream-chunk requires --workers")
     config = Inf2vecConfig(dim=args.dim, epochs=args.epochs)
-    model = Inf2vecModel(config, seed=args.seed)
-    model.fit(dataset.graph, dataset.log, checkpoint=manager, resume=args.resume)
+    if args.workers is not None:
+        from repro.parallel import HogwildTrainer
+
+        trainer = HogwildTrainer(
+            config,
+            workers=args.workers,
+            seed=args.seed,
+            stream_chunk=args.stream_chunk,
+        )
+        model = trainer.fit(
+            dataset.graph, dataset.log, checkpoint=manager, resume=args.resume
+        )
+    else:
+        model = Inf2vecModel(config, seed=args.seed)
+        model.fit(
+            dataset.graph, dataset.log, checkpoint=manager, resume=args.resume
+        )
     losses = model.loss_history
     if losses:
+        workers_note = (
+            f" with {args.workers} workers" if args.workers is not None else ""
+        )
         print(
             f"trained dim={args.dim} over {len(losses)} epochs "
-            f"on {dataset.graph.num_nodes} users; "
+            f"on {dataset.graph.num_nodes} users{workers_note}; "
             f"final loss {losses[-1]:.6f}"
         )
     else:

@@ -465,6 +465,30 @@ class ContextGenerator:
         """Materialise the whole corpus ``P`` as a list."""
         return list(self.iter_contexts(log))
 
+    def iter_context_chunks(
+        self, log: ActionLog, episodes_per_chunk: int
+    ) -> Iterator[list[InfluenceContext]]:
+        """Generate the corpus in bounded chunks of episodes.
+
+        The out-of-core path: each yielded chunk covers
+        ``episodes_per_chunk`` episodes and materialises only their
+        contexts (and, in batched mode, only their propagation-network
+        cache), so peak memory is O(chunk) however large the log grows.
+        Chunking does not change what is generated — episodes are
+        processed in log order either way, so the concatenation of all
+        chunks equals :meth:`generate` on the same RNG stream.
+        """
+        episodes_per_chunk = check_positive_int(
+            "episodes_per_chunk", episodes_per_chunk
+        )
+        episodes = log.episodes
+        for start in range(0, len(episodes), episodes_per_chunk):
+            chunk_log = ActionLog(
+                episodes[start : start + episodes_per_chunk],
+                num_users=log.num_users,
+            )
+            yield self.generate(chunk_log)
+
 
 def _observe_episode_contexts(
     metrics: MetricsRegistry, contexts: Sequence[InfluenceContext]

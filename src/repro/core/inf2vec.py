@@ -33,8 +33,9 @@ benchmarks and equivalence tests.
 from __future__ import annotations
 
 import copy
+import os
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Literal, Sequence
 
 import numpy as np
@@ -51,10 +52,13 @@ from repro.obs.metrics import NULL_REGISTRY
 from repro.obs.run import NULL_RUN, RunRecorder, active_run, config_fingerprint
 
 if TYPE_CHECKING:  # pragma: no cover - typing-only (avoids an import cycle)
+    from multiprocessing.connection import Connection
+
     from repro.ckpt.manager import CheckpointManager
     from repro.ckpt.state import TrainingState
+    from repro.parallel.shared import SharedEmbeddingSpec
 from repro.utils.logging import get_logger, log_epoch_progress
-from repro.utils.rng import SeedLike, ensure_rng
+from repro.utils.rng import SeedLike, ensure_rng, generator_from_state
 from repro.utils.validation import check_positive, check_positive_int
 
 logger = get_logger("core.inf2vec")
@@ -81,6 +85,46 @@ def _scatter_add_outer(
         shape=(dest.shape[0], vectors.shape[0]),
     )
     dest += matrix @ vectors
+
+def loss_converged(previous_loss: float, loss: float, tol: float) -> bool:
+    """Early-stopping test: has the loss *improved* by less than ``tol``?
+
+    Convergence means the relative decrease
+    ``(previous_loss - loss) / |previous_loss|`` lies in ``[0, tol)`` —
+    training settled without getting worse.  A loss *increase* (negative
+    decrease) is divergence, not convergence, and returns ``False`` so
+    training continues (or the schedule anneals the step size down).
+    ``tol <= 0`` disables the test, as does a non-finite previous loss
+    (the first epoch has nothing to compare against).
+
+    Shared by the in-process epoch loop and the hogwild parent, so both
+    engines stop on identical criteria.
+    """
+    if tol <= 0 or not np.isfinite(previous_loss):
+        return False
+    if previous_loss == 0:
+        return loss == 0
+    decrease = (previous_loss - loss) / abs(previous_loss)
+    return 0.0 <= decrease < tol
+
+
+def annealed_learning_rate(
+    base: float, epoch: int, total_epochs: int, decay: bool = True
+) -> float:
+    """Word2vec-style linear annealing to 1% of ``base`` over the budget.
+
+    ``total_epochs`` is the *effective* budget of the current loop —
+    ``config.epochs`` for a full fit, the ``epochs`` override for
+    ``partial_fit(epochs=N)`` — so the schedule always reaches its
+    floor on the loop's final epoch regardless of which entry point
+    drives it.
+    """
+    if not decay or total_epochs <= 1:
+        return base
+    progress = epoch / max(1, total_epochs - 1)
+    floor = 0.01 * base
+    return floor + (base - floor) * (1.0 - progress)
+
 
 NegativeDistribution = Literal["unigram", "uniform"]
 
@@ -406,6 +450,11 @@ class Inf2vecModel:
                 f"match this config's {fingerprint}; resume requires the "
                 "identical hyper-parameter configuration"
             )
+        if state.worker_topology is not None:
+            raise CheckpointError(
+                "checkpoint carries hogwild worker topology; resume it with "
+                "repro.parallel.HogwildTrainer at the same worker count"
+            )
         logger.info(
             "resuming from checkpoint at epoch %d (%s)",
             state.epoch,
@@ -441,9 +490,16 @@ class Inf2vecModel:
         checkpoint: "CheckpointManager | None" = None,
         entry_rng_state: dict | None = None,
         resume_state: "TrainingState | None" = None,
+        epochs: int | None = None,
     ) -> "Inf2vecModel":
-        """The epoch loop shared by :meth:`fit` and :meth:`fit_contexts`."""
+        """The epoch loop shared by :meth:`fit` and :meth:`fit_contexts`.
+
+        ``epochs`` overrides the configured budget for this loop; the
+        learning-rate anneal, terminal forced checkpoint, and loop
+        bound all follow the effective budget.
+        """
         num_users = check_positive_int("num_users", num_users)
+        budget = epochs if epochs is not None else self.config.epochs
         if resume_state is not None:
             self._restore_state(resume_state, num_users)
             start_epoch = resume_state.epoch + 1
@@ -462,7 +518,7 @@ class Inf2vecModel:
         previous_loss = (
             self._loss_history[-1] if self._loss_history else np.inf
         )
-        for epoch in range(start_epoch, self.config.epochs):
+        for epoch in range(start_epoch, budget):
             # Regenerate the corpus at the top of every epoch after the
             # first (not after the last, which would waste a generation
             # pass whose output nobody trains on).
@@ -474,7 +530,7 @@ class Inf2vecModel:
                 with run.span("contexts"):
                     corpus = list(generator.generate(log))
                 sampler = self._build_sampler(corpus, num_users)
-            learning_rate = self._epoch_learning_rate(epoch)
+            learning_rate = self._epoch_learning_rate(epoch, budget)
             with run.span("epoch", epoch=epoch) as epoch_span:
                 started = time.perf_counter()
                 with run.span("sgd"):
@@ -495,12 +551,12 @@ class Inf2vecModel:
                     epoch,
                     entry_rng_state=entry_rng_state,
                     metrics=run.metrics,
-                    force=converged or epoch == self.config.epochs - 1,
+                    force=converged or epoch == budget - 1,
                 )
             log_epoch_progress(
                 logger,
                 epoch,
-                self.config.epochs,
+                budget,
                 loss=loss,
                 elapsed=time.perf_counter() - started,
                 lr=f"{learning_rate:.4g}",
@@ -541,13 +597,20 @@ class Inf2vecModel:
         epoch_span.set_attribute("loss", loss)
         epoch_span.set_attribute("examples_per_sec", examples_per_sec)
 
-    def _epoch_learning_rate(self, epoch: int) -> float:
-        """Word2vec-style linear annealing to 1% over the epoch budget."""
-        if not self.config.lr_decay or self.config.epochs <= 1:
-            return self.config.learning_rate
-        progress = epoch / max(1, self.config.epochs - 1)
-        floor = 0.01 * self.config.learning_rate
-        return floor + (self.config.learning_rate - floor) * (1.0 - progress)
+    def _epoch_learning_rate(
+        self, epoch: int, total_epochs: int | None = None
+    ) -> float:
+        """Annealed step size for ``epoch`` of a ``total_epochs`` loop.
+
+        ``total_epochs`` defaults to the configured budget; loops with
+        an epoch override (``partial_fit(epochs=N)``) pass their
+        effective budget so the anneal uses the right denominator.
+        """
+        if total_epochs is None:
+            total_epochs = self.config.epochs
+        return annealed_learning_rate(
+            self.config.learning_rate, epoch, total_epochs, self.config.lr_decay
+        )
 
     def partial_fit(
         self,
@@ -560,8 +623,10 @@ class Inf2vecModel:
 
         Supports streaming logs: Algorithm 1 runs on the new episodes
         only and the existing parameters take ``epochs`` additional SGD
-        passes over the new contexts at the annealed (final) learning
-        rate.  Users must already be inside the fitted universe;
+        passes over the new contexts, with the learning rate annealed
+        over that effective budget — ``partial_fit(epochs=N)`` follows
+        the same schedule a fresh fit configured with ``epochs=N``
+        would.  Users must already be inside the fitted universe;
         growing the universe requires a fresh :meth:`fit`.
 
         Parameters
@@ -572,8 +637,10 @@ class Inf2vecModel:
             Episodes not seen by the original fit.
         epochs:
             Passes over the new contexts (defaults to the configured
-            epoch budget).  ``0`` is an explicit no-op — the fitted
-            parameters are left untouched; negative values raise.
+            epoch budget), and the denominator of the learning-rate
+            anneal for this call.  ``0`` is an explicit no-op — the
+            fitted parameters are left untouched; negative values
+            raise.
         checkpoint:
             Optional :class:`repro.ckpt.CheckpointManager`; the
             incremental epochs checkpoint at its cadence under the
@@ -610,16 +677,17 @@ class Inf2vecModel:
             if not corpus:
                 return self
             sampler = self._build_sampler(corpus, self._embedding.num_users)
-            final_lr = self._epoch_learning_rate(self.config.epochs - 1)
             for epoch in range(budget):
+                learning_rate = self._epoch_learning_rate(epoch, budget)
                 with run.span("epoch", epoch=epoch) as epoch_span:
                     started = time.perf_counter()
                     with run.span("sgd"):
                         loss = self.train_epoch(
-                            corpus, sampler, learning_rate=final_lr
+                            corpus, sampler, learning_rate=learning_rate
                         )
                     self._record_epoch(
-                        run, epoch_span, epoch, loss, final_lr, corpus, started
+                        run, epoch_span, epoch, loss, learning_rate, corpus,
+                        started,
                     )
                 self._loss_history.append(loss)
                 if checkpoint is not None:
@@ -995,12 +1063,7 @@ class Inf2vecModel:
         return NegativeSampler.from_frequencies(frequencies)
 
     def _converged(self, previous_loss: float, loss: float) -> bool:
-        tol = self.config.convergence_tol
-        if tol <= 0 or not np.isfinite(previous_loss):
-            return False
-        if previous_loss == 0:
-            return loss == 0
-        return (previous_loss - loss) / abs(previous_loss) < tol
+        return loss_converged(previous_loss, loss, self.config.convergence_tol)
 
     # ------------------------------------------------------------------
     # Results
@@ -1031,3 +1094,128 @@ class Inf2vecModel:
     def __repr__(self) -> str:
         state = "fitted" if self.is_fitted else "unfitted"
         return f"Inf2vecModel(dim={self.config.dim}, {state})"
+
+
+# ----------------------------------------------------------------------
+# Hogwild worker entry point
+# ----------------------------------------------------------------------
+
+
+def hogwild_worker_main(
+    worker_id: int,
+    spec: "SharedEmbeddingSpec",
+    config: Inf2vecConfig,
+    graph: SocialGraph,
+    shard: ActionLog,
+    entry_rng_state: dict,
+    resume_rng_state: dict | None,
+    stream_chunk: int | None,
+    conn: "Connection",
+) -> None:
+    """Process entry point for one hogwild training worker.
+
+    The worker attaches the shared parameter blocks named by ``spec``
+    and trains its episode ``shard`` against them lock-free — an
+    ordinary :class:`Inf2vecModel` whose embedding arrays are zero-copy
+    shared-memory views, so the existing SGD kernels update the global
+    parameters directly.
+
+    Determinism contract: the worker's generator starts from
+    ``entry_rng_state`` (its spawn-derived birth state, replayed on
+    resume so the regenerated corpus matches the interrupted run's),
+    then jumps to ``resume_rng_state`` when resuming.  With
+    ``stream_chunk`` set, the corpus is never materialised: each epoch
+    regenerates and trains ``stream_chunk`` episodes' contexts at a
+    time, bounding memory regardless of shard size (uniform negatives
+    only — the unigram table would need the full corpus).
+
+    Protocol over ``conn``: the worker sends ``("ready", id,
+    num_contexts)`` once set up, then answers ``("epoch", index, lr)``
+    commands with ``("epoch_done", id, loss_sum, positives, seconds,
+    rng_state)`` until ``("stop",)`` arrives or the pipe closes (parent
+    death — exit quietly so orphans never linger).  Failures are
+    reported as ``("error", id, message)``.
+    """
+    from repro.parallel.shared import SharedEmbedding  # import cycle guard
+
+    shared = None
+    try:
+        shared = SharedEmbedding.attach(spec)
+        streaming = stream_chunk is not None
+        if streaming and config.negative_distribution != "uniform":
+            raise TrainingError(
+                "streaming corpus requires negative_distribution='uniform'"
+            )
+        rng = generator_from_state(copy.deepcopy(entry_rng_state))
+        # Workers never own a recorder — the parent aggregates; fall
+        # back to the zero-overhead null registry in this process.
+        model = Inf2vecModel(replace(config, telemetry=False), seed=rng)
+        model._embedding = shared.embedding
+        generator = ContextGenerator(
+            graph, config.context, rng, batched=model._batched
+        )
+        corpus: list[InfluenceContext] = []
+        if not streaming:
+            corpus = generator.generate(shard)
+        sampler = model._build_sampler(corpus, graph.num_nodes)
+        positives = sum(len(context) for context in corpus)
+        if resume_rng_state is not None:
+            rng.bit_generator.state = copy.deepcopy(resume_rng_state)
+        conn.send(("ready", worker_id, len(corpus)))
+        parent_pid = os.getppid()
+        while True:
+            # Poll instead of a blocking recv: under the fork start
+            # method every worker inherits copies of its siblings'
+            # (and its own) parent-side pipe ends, so a SIGKILL'd
+            # parent never EOFs the pipe.  A reparented worker
+            # (getppid changed) is an orphan and must exit on its own.
+            try:
+                while not conn.poll(0.2):
+                    if os.getppid() != parent_pid:
+                        return
+                message = conn.recv()
+            except (EOFError, OSError):  # parent is gone; stop training
+                return
+            if message[0] == "stop":
+                return
+            _, epoch, learning_rate = message
+            started = time.perf_counter()
+            if streaming:
+                loss_sum = 0.0
+                count = 0
+                for chunk in generator.iter_context_chunks(shard, stream_chunk):
+                    mean = model.train_epoch(
+                        chunk, sampler, learning_rate=learning_rate
+                    )
+                    chunk_positives = sum(len(context) for context in chunk)
+                    loss_sum += mean * chunk_positives
+                    count += chunk_positives
+            else:
+                if epoch > 0 and config.regenerate_contexts:
+                    corpus = generator.generate(shard)
+                    sampler = model._build_sampler(corpus, graph.num_nodes)
+                    positives = sum(len(context) for context in corpus)
+                mean = model.train_epoch(
+                    corpus, sampler, learning_rate=learning_rate
+                )
+                loss_sum = mean * positives
+                count = positives
+            conn.send(
+                (
+                    "epoch_done",
+                    worker_id,
+                    float(loss_sum),
+                    int(count),
+                    time.perf_counter() - started,
+                    copy.deepcopy(rng.bit_generator.state),
+                )
+            )
+    except Exception as exc:  # surfaced to the parent, which raises
+        try:
+            conn.send(("error", worker_id, f"{type(exc).__name__}: {exc}"))
+        except OSError:
+            pass
+    finally:
+        if shared is not None:
+            shared.close()
+        conn.close()

@@ -1,0 +1,204 @@
+"""Shared-memory parameter blocks for multi-process hogwild training.
+
+Hogwild SGD (Niu et al., 2011) lets several workers apply sparse SGD
+updates to one parameter store without locks; the sparse, scattered
+Eq. 6 updates of Inf2vec make it a natural fit.  The parameter store
+here is the four Inf2vec arrays (``S``, ``T``, ``b``, ``b̃``) placed in
+:mod:`multiprocessing.shared_memory` blocks so every worker process
+maps the *same* physical pages instead of a pickled copy.
+
+:class:`SharedEmbedding` owns the lifecycle: the parent process
+:meth:`~SharedEmbedding.create`\\ s the blocks from an initialised
+:class:`~repro.core.embeddings.InfluenceEmbedding`, ships the tiny
+picklable :class:`SharedEmbeddingSpec` to each worker, and each worker
+:meth:`~SharedEmbedding.attach`\\ es read-write ndarray views.  Only the
+creating side may :meth:`~SharedEmbedding.unlink`; every side must
+:meth:`~SharedEmbedding.close` when done.  The OS-level blocks are also
+registered with the interpreter's resource tracker, so even a crashed
+parent does not leak ``/dev/shm`` segments forever.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.core.embeddings import InfluenceEmbedding
+from repro.errors import TrainingError
+from repro.utils.validation import check_positive_int
+
+#: The four parameter families, in spec order.
+PARAMETER_FIELDS = ("source", "target", "source_bias", "target_bias")
+
+
+@dataclass(frozen=True)
+class SharedEmbeddingSpec:
+    """Picklable handle to the four shared parameter blocks.
+
+    Workers receive this instead of the arrays themselves; attaching by
+    name maps the parent's physical pages.  ``names`` follows
+    :data:`PARAMETER_FIELDS` order.
+    """
+
+    names: tuple[str, str, str, str]
+    num_users: int
+    dim: int
+
+    def __post_init__(self) -> None:
+        if len(self.names) != len(PARAMETER_FIELDS):
+            raise TrainingError(
+                f"spec needs {len(PARAMETER_FIELDS)} block names, "
+                f"got {len(self.names)}"
+            )
+        check_positive_int("num_users", self.num_users)
+        check_positive_int("dim", self.dim)
+
+    @property
+    def shapes(self) -> tuple[tuple[int, ...], ...]:
+        """Array shapes per field, in :data:`PARAMETER_FIELDS` order."""
+        matrix = (self.num_users, self.dim)
+        vector = (self.num_users,)
+        return (matrix, matrix, vector, vector)
+
+
+class SharedEmbedding:
+    """The four Inf2vec parameter arrays backed by shared memory.
+
+    Use :meth:`create` in the process that owns the lifecycle and
+    :meth:`attach` in workers; :attr:`embedding` exposes the blocks as
+    a normal :class:`InfluenceEmbedding` whose arrays are zero-copy
+    views, so the existing SGD kernels run on shared pages unchanged.
+    """
+
+    def __init__(
+        self,
+        blocks: list[shared_memory.SharedMemory],
+        spec: SharedEmbeddingSpec,
+        owner: bool,
+    ):
+        self._blocks = blocks
+        self._spec = spec
+        self._owner = owner
+        self._closed = False
+        arrays = [
+            np.ndarray(shape, dtype=np.float64, buffer=block.buf)
+            for shape, block in zip(spec.shapes, blocks)
+        ]
+        self._embedding = InfluenceEmbedding(*arrays)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def create(cls, embedding: InfluenceEmbedding) -> "SharedEmbedding":
+        """Allocate the blocks and copy ``embedding`` into them."""
+        sources = (
+            embedding.source,
+            embedding.target,
+            embedding.source_bias,
+            embedding.target_bias,
+        )
+        blocks: list[shared_memory.SharedMemory] = []
+        try:
+            for array in sources:
+                block = shared_memory.SharedMemory(
+                    create=True, size=int(array.nbytes)
+                )
+                blocks.append(block)
+                view = np.ndarray(
+                    array.shape, dtype=np.float64, buffer=block.buf
+                )
+                view[...] = array
+        except BaseException:
+            for block in blocks:
+                block.close()
+                block.unlink()
+            raise
+        spec = SharedEmbeddingSpec(
+            names=tuple(block.name for block in blocks),
+            num_users=int(embedding.num_users),
+            dim=int(embedding.dim),
+        )
+        return cls(blocks, spec, owner=True)
+
+    @classmethod
+    def attach(cls, spec: SharedEmbeddingSpec) -> "SharedEmbedding":
+        """Map the blocks named by ``spec`` (worker side, non-owning)."""
+        blocks: list[shared_memory.SharedMemory] = []
+        try:
+            for name in spec.names:
+                blocks.append(shared_memory.SharedMemory(name=name))
+        except BaseException:
+            for block in blocks:
+                block.close()
+            raise
+        return cls(blocks, spec, owner=False)
+
+    def close(self) -> None:
+        """Unmap this process's views (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        # Views into the buffers must be dropped before the mapping
+        # goes away, or SharedMemory.close() raises BufferError.
+        self._embedding = None  # type: ignore[assignment]
+        for block in self._blocks:
+            block.close()
+
+    def unlink(self) -> None:
+        """Destroy the OS-level blocks (owner only; call after close)."""
+        if not self._owner:
+            raise TrainingError(
+                "only the creating SharedEmbedding may unlink its blocks"
+            )
+        for block in self._blocks:
+            block.unlink()
+
+    def __enter__(self) -> "SharedEmbedding":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+        if self._owner:
+            self.unlink()
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+
+    @property
+    def spec(self) -> SharedEmbeddingSpec:
+        """The picklable attach handle."""
+        return self._spec
+
+    @property
+    def owner(self) -> bool:
+        """Whether this instance created (and must unlink) the blocks."""
+        return self._owner
+
+    @property
+    def embedding(self) -> InfluenceEmbedding:
+        """Zero-copy :class:`InfluenceEmbedding` over the shared pages."""
+        if self._embedding is None:
+            raise TrainingError("SharedEmbedding is closed")
+        return self._embedding
+
+    def snapshot(self) -> InfluenceEmbedding:
+        """A private (non-shared) copy of the current parameters."""
+        embedding = self.embedding
+        return InfluenceEmbedding(
+            embedding.source.copy(),
+            embedding.target.copy(),
+            embedding.source_bias.copy(),
+            embedding.target_bias.copy(),
+        )
+
+    def __repr__(self) -> str:
+        role = "owner" if self._owner else "attached"
+        return (
+            f"SharedEmbedding(num_users={self._spec.num_users}, "
+            f"dim={self._spec.dim}, {role})"
+        )

@@ -172,6 +172,43 @@ class InfluenceService:
             )
         return user
 
+    def _check_users(self, users: np.ndarray) -> np.ndarray:
+        """Validate a batch of user ids against the served universe.
+
+        Negative ids would otherwise wrap silently through numpy fancy
+        indexing on the index path and return the wrong users' rows.
+        """
+        if users.ndim != 1 or users.shape[0] == 0:
+            raise ServingError(
+                "at least one query user is required (1-D id array)"
+            )
+        bad = (users < 0) | (users >= self.num_users)
+        if bad.any():
+            raise ServingError(
+                f"user {int(users[bad][0])} outside served universe "
+                f"[0, {self.num_users})"
+            )
+        return users
+
+    def _check_k(self, k: int) -> int:
+        """Validate ``k`` once, before path routing.
+
+        Both backends reject bad depths (the scan via
+        ``TopKEngine._check_k``, the index via its depth check), but
+        routing happens first — an unchecked ``k`` picks the path, and
+        the index path's numpy slicing would quietly truncate
+        ``k > num_users`` instead of failing like the scan does.
+        Validating here makes the two paths raise identically.
+        """
+        k = int(k)
+        if k < 1:
+            raise ServingError(f"k must be a positive integer, got {k}")
+        if k > self.num_users:
+            raise ServingError(
+                f"k={k} exceeds num_users={self.num_users}"
+            )
+        return k
+
     def _query(self, direction: str, user: int, k: int) -> TopKResult:
         run = active_run()
         sampled = run.enabled and self.sampler.sample()
@@ -184,6 +221,7 @@ class InfluenceService:
         with span_cm as span:
             try:
                 user = self._check_user(user)
+                k = self._check_k(k)
                 index = self.indices.get(direction)
                 if index is not None and k <= index.k:
                     result = index.query(user, k)
@@ -228,6 +266,8 @@ class InfluenceService:
             f"serve.batch.{direction}", num_queries=int(users.shape[0]), k=k
         ) as span:
             try:
+                users = self._check_users(users)
+                k = self._check_k(k)
                 if index is not None and k <= index.k:
                     result = TopKResult(
                         indices=np.asarray(index.indices[users, :k]),
@@ -290,6 +330,11 @@ class InfluenceService:
             _record_error(direction, error)
             raise error
         users = np.asarray(users, dtype=np.int64)
+        try:
+            users = self._check_users(users)
+        except ServingError as exc:
+            _record_error(direction, exc)
+            raise
         return TopKResult(
             indices=np.asarray(index.indices[users]),
             scores=np.asarray(index.scores[users]),

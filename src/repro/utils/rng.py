@@ -47,6 +47,42 @@ def ensure_rng(seed: SeedLike = None) -> RandomState:
     )
 
 
+#: Bit-generator classes a captured state may name (the seeded families
+#: the repo's no-global-rng invariant allows).
+_BIT_GENERATORS = {
+    "PCG64": np.random.PCG64,
+    "PCG64DXSM": np.random.PCG64DXSM,
+    "MT19937": np.random.MT19937,
+    "Philox": np.random.Philox,
+    "SFC64": np.random.SFC64,
+}
+
+
+def generator_from_state(state: dict) -> RandomState:
+    """Rebuild a :class:`~numpy.random.Generator` from a captured bit-state.
+
+    ``state`` is a ``Generator.bit_generator.state`` dict (as stored in
+    checkpoints and shipped to hogwild workers); the matching
+    bit-generator class is instantiated and its state installed, so the
+    returned generator continues the captured stream exactly.
+
+    Raises
+    ------
+    ValueError
+        If the state does not name a known bit generator.
+    """
+    if not isinstance(state, dict) or "bit_generator" not in state:
+        raise ValueError("RNG state must be a bit-generator state dict")
+    name = state["bit_generator"]
+    try:
+        bit_cls = _BIT_GENERATORS[name]
+    except KeyError:
+        raise ValueError(f"unknown bit generator {name!r}") from None
+    bit = bit_cls()
+    bit.state = state
+    return np.random.Generator(bit)
+
+
 def spawn_rngs(seed: SeedLike, count: int) -> list[RandomState]:
     """Derive ``count`` statistically independent generators from ``seed``.
 

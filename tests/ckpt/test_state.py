@@ -126,3 +126,65 @@ class TestValidation:
                 rng_state=state.rng_state,
                 entry_rng_state=state.entry_rng_state,
             ).validate()
+
+
+class TestWorkerTopology:
+    """Round trip + validation of the optional hogwild worker topology."""
+
+    def _topology(self, workers=2):
+        states = [
+            np.random.default_rng(seed).bit_generator.state
+            for seed in range(workers)
+        ]
+        later = [
+            np.random.default_rng(100 + seed).bit_generator.state
+            for seed in range(workers)
+        ]
+        return {
+            "workers": workers,
+            "entry_rng_states": states,
+            "rng_states": later,
+        }
+
+    def test_roundtrip(self, fitted_model, tmp_path):
+        topology = self._topology()
+        state = TrainingState.capture(
+            fitted_model, epoch=2, worker_topology=topology
+        )
+        loaded = TrainingState.load(state.save(tmp_path / "ckpt.npz"))
+        assert loaded.worker_topology is not None
+        assert loaded.worker_topology["workers"] == 2
+        for restored, original in zip(
+            loaded.worker_topology["entry_rng_states"],
+            topology["entry_rng_states"],
+        ):
+            a = np.random.default_rng(0)
+            b = np.random.default_rng(0)
+            a.bit_generator.state = restored
+            b.bit_generator.state = original
+            assert np.array_equal(
+                a.integers(0, 1 << 30, size=8), b.integers(0, 1 << 30, size=8)
+            )
+
+    def test_absent_by_default(self, fitted_model, tmp_path):
+        state = TrainingState.capture(fitted_model, epoch=2)
+        assert state.worker_topology is None
+        loaded = TrainingState.load(state.save(tmp_path / "ckpt.npz"))
+        assert loaded.worker_topology is None
+
+    def test_capture_deep_copies_topology(self, fitted_model):
+        topology = self._topology()
+        state = TrainingState.capture(
+            fitted_model, epoch=2, worker_topology=topology
+        )
+        topology["workers"] = 99
+        assert state.worker_topology["workers"] == 2
+
+    def test_inconsistent_topology_rejected(self, fitted_model, tmp_path):
+        topology = self._topology()
+        topology["rng_states"] = topology["rng_states"][:1]  # wrong length
+        state = TrainingState.capture(
+            fitted_model, epoch=2, worker_topology=topology
+        )
+        with pytest.raises(CheckpointError, match="topology"):
+            state.save(tmp_path / "ckpt.npz")

@@ -165,3 +165,117 @@ class TestTemporalSplit:
             log.split_temporal((0.5, 0.4))
         with pytest.raises(ActionLogError):
             log.split_temporal(())
+
+
+class TestPartialFitSchedule:
+    """Regression pin: the anneal denominator is the call's budget.
+
+    ``partial_fit(epochs=N)`` used to decay the learning rate over
+    ``config.epochs`` — a short incremental update on a model
+    configured for many epochs barely decayed at all (or, worse,
+    indexed past the configured budget).  The schedule must now match
+    what a fresh run with ``epochs=N`` would use.
+    """
+
+    @pytest.fixture
+    def graph(self) -> SocialGraph:
+        edges = [(u, (u + 1) % 8) for u in range(8)]
+        edges += [(u, (u + 2) % 8) for u in range(8)]
+        return SocialGraph(8, edges)
+
+    @pytest.fixture
+    def logs(self):
+        early = ActionLog(
+            [
+                DiffusionEpisode(i, [(i % 8, 1.0), ((i + 1) % 8, 2.0)])
+                for i in range(10)
+            ],
+            num_users=8,
+        )
+        late = ActionLog(
+            [
+                DiffusionEpisode(100 + i, [(i % 8, 1.0), ((i + 2) % 8, 2.0)])
+                for i in range(10)
+            ],
+            num_users=8,
+        )
+        return early, late
+
+    def _observed_rates(self, model, graph, log, epochs):
+        observed = []
+        inner = model.train_epoch
+
+        def spy(corpus, sampler=None, learning_rate=None, batch_size=None):
+            observed.append(learning_rate)
+            return inner(
+                corpus, sampler, learning_rate=learning_rate,
+                batch_size=batch_size,
+            )
+
+        model.train_epoch = spy
+        try:
+            model.partial_fit(graph, log, epochs=epochs)
+        finally:
+            del model.train_epoch  # restore the bound method
+        return observed
+
+    def test_partial_fit_anneals_over_its_own_budget(self, graph, logs):
+        from repro.core.inf2vec import annealed_learning_rate
+
+        early, late = logs
+        config = Inf2vecConfig(
+            dim=4,
+            epochs=12,
+            learning_rate=0.1,
+            context=ContextConfig(length=4, alpha=0.5),
+        )
+        model = Inf2vecModel(config, seed=0).fit(graph, early)
+        observed = self._observed_rates(model, graph, late, epochs=3)
+
+        expected = [
+            annealed_learning_rate(config.learning_rate, epoch, 3)
+            for epoch in range(3)
+        ]
+        assert observed == pytest.approx(expected)
+        # Final incremental epoch reaches the schedule floor — under the
+        # old config.epochs=12 denominator it would still sit at ~83%
+        # of the base rate.
+        assert observed[-1] == pytest.approx(0.001)
+
+    def test_partial_fit_matches_fresh_config_with_same_budget(
+        self, graph, logs
+    ):
+        from repro.core.inf2vec import annealed_learning_rate
+
+        early, late = logs
+        incremental_config = Inf2vecConfig(
+            dim=4,
+            epochs=12,
+            learning_rate=0.1,
+            context=ContextConfig(length=4, alpha=0.5),
+        )
+        model = Inf2vecModel(incremental_config, seed=0).fit(graph, early)
+        observed = self._observed_rates(model, graph, late, epochs=5)
+
+        fresh_config = Inf2vecConfig(
+            dim=4,
+            epochs=5,
+            learning_rate=0.1,
+            context=ContextConfig(length=4, alpha=0.5),
+        )
+        fresh = Inf2vecModel(fresh_config, seed=0)
+        expected = [fresh._epoch_learning_rate(epoch) for epoch in range(5)]
+        assert observed == pytest.approx(expected)
+
+    def test_partial_fit_default_budget_is_config_epochs(self, graph, logs):
+        early, late = logs
+        config = Inf2vecConfig(
+            dim=4,
+            epochs=3,
+            learning_rate=0.1,
+            context=ContextConfig(length=4, alpha=0.5),
+        )
+        model = Inf2vecModel(config, seed=0).fit(graph, early)
+        observed = self._observed_rates(model, graph, late, epochs=None)
+        assert len(observed) == config.epochs
+        assert observed[-1] == pytest.approx(0.001)

@@ -325,3 +325,107 @@ class TestLifecycle:
     def test_repr(self):
         model = Inf2vecModel(Inf2vecConfig(dim=4))
         assert "unfitted" in repr(model)
+
+
+class TestConvergenceCriterion:
+    """Regression tests for the convergence predicate.
+
+    The original ``_converged`` compared ``abs(previous - loss)`` so a
+    loss that *increased* by less than the tolerance — or blew up past
+    it between checks of a diverging run — could still read as
+    converged.  Convergence now requires a relative *decrease* in
+    ``[0, tol)``.
+    """
+
+    def test_diverging_loss_sequence_never_converges(self):
+        from repro.core.inf2vec import loss_converged
+
+        diverging = [1.0, 1.002, 1.05, 1.4, 2.9, 11.0, float("inf")]
+        for previous, current in zip(diverging, diverging[1:]):
+            assert not loss_converged(previous, current, tol=0.01), (
+                previous, current,
+            )
+
+    def test_small_relative_decrease_converges(self):
+        from repro.core.inf2vec import loss_converged
+
+        assert loss_converged(1.0, 0.9999, tol=0.01)
+        assert loss_converged(1.0, 1.0, tol=0.01)
+
+    def test_large_decrease_keeps_training(self):
+        from repro.core.inf2vec import loss_converged
+
+        assert not loss_converged(1.0, 0.5, tol=0.01)
+
+    def test_tol_zero_disables(self):
+        from repro.core.inf2vec import loss_converged
+
+        assert not loss_converged(1.0, 1.0, tol=0.0)
+
+    def test_first_epoch_never_converges(self):
+        from repro.core.inf2vec import loss_converged
+
+        assert not loss_converged(float("inf"), 1.0, tol=0.5)
+
+    def test_model_converged_rejects_increase(self):
+        model = Inf2vecModel(Inf2vecConfig(dim=4, convergence_tol=0.01))
+        assert not model._converged(1.0, 1.001)
+        assert model._converged(1.0, 0.9995)
+
+    def test_diverging_training_runs_the_full_budget(self):
+        """A run whose loss climbs must not stop early as 'converged'."""
+        rng = ensure_rng(5)
+        contexts = [
+            InfluenceContext(
+                user=int(rng.integers(10)),
+                item=0,
+                local=(int(rng.integers(10)),),
+                global_=(),
+            )
+            for _ in range(40)
+        ]
+        config = Inf2vecConfig(
+            dim=4,
+            epochs=6,
+            learning_rate=80.0,  # absurd step size: loss oscillates up
+            lr_decay=False,
+            max_norm=None,
+            convergence_tol=0.05,
+        )
+        model = Inf2vecModel(config, seed=0).fit_contexts(contexts, num_users=10)
+        history = model.loss_history
+        if len(history) < config.epochs:
+            # Early stop is only legal on a genuine small relative
+            # *decrease* — never on an increase, however small.
+            decrease = (history[-2] - history[-1]) / abs(history[-2])
+            assert 0.0 <= decrease < config.convergence_tol, history[-2:]
+
+
+class TestAnnealedScheduleBudget:
+    """The anneal denominator follows the *effective* epoch budget."""
+
+    def test_floor_depends_on_budget_not_config(self):
+        from repro.core.inf2vec import annealed_learning_rate
+
+        # Last epoch of any budget lands on the 1% floor.
+        assert annealed_learning_rate(0.1, 4, 5) == pytest.approx(0.001)
+        assert annealed_learning_rate(0.1, 9, 10) == pytest.approx(0.001)
+        assert annealed_learning_rate(0.1, 0, 5) == pytest.approx(0.1)
+
+    def test_single_epoch_budget_keeps_base_rate(self):
+        from repro.core.inf2vec import annealed_learning_rate
+
+        assert annealed_learning_rate(0.1, 0, 1) == pytest.approx(0.1)
+
+    def test_decay_disabled(self):
+        from repro.core.inf2vec import annealed_learning_rate
+
+        assert annealed_learning_rate(0.1, 7, 8, decay=False) == pytest.approx(0.1)
+
+    def test_model_method_accepts_budget_override(self):
+        model = Inf2vecModel(Inf2vecConfig(learning_rate=0.1, epochs=20))
+        assert model._epoch_learning_rate(2, total_epochs=3) == pytest.approx(
+            0.001
+        )
+        # Without the override the denominator is the configured budget.
+        assert model._epoch_learning_rate(2) > 0.01

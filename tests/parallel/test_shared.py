@@ -1,0 +1,109 @@
+"""Shared-memory parameter block tests.
+
+The hogwild engine's correctness rests on one mechanism: four POSIX
+shared-memory blocks exposed as a zero-copy
+:class:`~repro.core.embeddings.InfluenceEmbedding` in every process.
+These tests pin the round trip (create -> attach -> mutate -> observe),
+the zero-copy property, and the lifecycle rules (views dropped before
+close, owner-only unlink).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.embeddings import InfluenceEmbedding
+from repro.errors import TrainingError
+from repro.parallel import PARAMETER_FIELDS, SharedEmbedding, SharedEmbeddingSpec
+
+
+@pytest.fixture
+def embedding():
+    return InfluenceEmbedding.initialize(30, 6, seed=3)
+
+
+class TestSharedEmbedding:
+    def test_create_copies_initial_values(self, embedding):
+        with SharedEmbedding.create(embedding) as shared:
+            for field in PARAMETER_FIELDS:
+                np.testing.assert_array_equal(
+                    getattr(shared.embedding, field), getattr(embedding, field)
+                )
+
+    def test_create_does_not_alias_the_source(self, embedding):
+        with SharedEmbedding.create(embedding) as shared:
+            embedding.source[0, 0] = 123.0
+            assert shared.embedding.source[0, 0] != 123.0
+
+    def test_attach_sees_writes_from_the_owner(self, embedding):
+        with SharedEmbedding.create(embedding) as shared:
+            attached = SharedEmbedding.attach(shared.spec)
+            try:
+                shared.embedding.source[2, 3] = 7.5
+                shared.embedding.target_bias[4] = -1.25
+                assert attached.embedding.source[2, 3] == 7.5
+                assert attached.embedding.target_bias[4] == -1.25
+            finally:
+                attached.close()
+
+    def test_owner_sees_writes_from_attachment(self, embedding):
+        with SharedEmbedding.create(embedding) as shared:
+            attached = SharedEmbedding.attach(shared.spec)
+            try:
+                attached.embedding.target[1] = 9.0
+                np.testing.assert_array_equal(
+                    shared.embedding.target[1], np.full(6, 9.0)
+                )
+            finally:
+                attached.close()
+
+    def test_snapshot_is_a_private_copy(self, embedding):
+        with SharedEmbedding.create(embedding) as shared:
+            snapshot = shared.snapshot()
+            shared.embedding.source[0, 0] = 55.0
+            assert snapshot.source[0, 0] != 55.0
+
+    def test_embedding_raises_after_close(self, embedding):
+        shared = SharedEmbedding.create(embedding)
+        try:
+            shared.close()
+            with pytest.raises(TrainingError):
+                shared.embedding
+        finally:
+            shared.unlink()
+
+    def test_close_is_idempotent(self, embedding):
+        shared = SharedEmbedding.create(embedding)
+        shared.close()
+        shared.close()
+        shared.unlink()
+
+    def test_attachment_may_not_unlink(self, embedding):
+        with SharedEmbedding.create(embedding) as shared:
+            attached = SharedEmbedding.attach(shared.spec)
+            try:
+                with pytest.raises(TrainingError):
+                    attached.unlink()
+            finally:
+                attached.close()
+
+    def test_spec_shapes(self, embedding):
+        with SharedEmbedding.create(embedding) as shared:
+            assert shared.spec.num_users == 30
+            assert shared.spec.dim == 6
+            assert shared.spec.shapes == ((30, 6), (30, 6), (30,), (30,))
+
+
+class TestSharedEmbeddingSpec:
+    def test_rejects_bad_sizes(self):
+        with pytest.raises((TypeError, ValueError)):
+            SharedEmbeddingSpec(
+                names=("a", "b", "c", "d"), num_users=0, dim=4
+            )
+        with pytest.raises((TypeError, ValueError)):
+            SharedEmbeddingSpec(
+                names=("a", "b", "c", "d"), num_users=4, dim=-1
+            )
+
+    def test_rejects_wrong_name_count(self):
+        with pytest.raises(TrainingError):
+            SharedEmbeddingSpec(names=("a", "b"), num_users=4, dim=4)

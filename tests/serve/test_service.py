@@ -286,3 +286,100 @@ class TestServeCli:
         EmbeddingStore.save(embedding, tmp_path / "s")
         assert main(["serve", "--store-dir", str(tmp_path / "s")]) == 0
         assert "opened store" in capsys.readouterr().out
+
+
+class TestKValidation:
+    """Regression pins for k/user validation across both query paths.
+
+    Before the fix only the single-query ``user`` was range-checked:
+    ``k > num_users`` failed only when routing happened to pick the
+    scan, batched queries accepted negative user ids (numpy indexing
+    silently wrapped them to the wrong rows), and none of these
+    rejections were counted as errors.
+    """
+
+    def _indexed_service(self, store_dir, k=5):
+        service = InfluenceService.open(store_dir)
+        service.precompute(k, directions=("influenced",), persist=False)
+        return service
+
+    def test_k_above_num_users_rejected_on_scan_path(self, store_dir):
+        service = InfluenceService.open(store_dir)
+        with pytest.raises(ServingError, match="exceeds num_users"):
+            service.top_influenced(0, 41)
+
+    def test_k_above_num_users_rejected_on_index_path(self, store_dir):
+        service = self._indexed_service(store_dir)
+        with pytest.raises(ServingError, match="exceeds num_users"):
+            service.top_influenced(0, 999)
+
+    def test_k_rejection_identical_across_paths(self, store_dir):
+        plain = InfluenceService.open(store_dir)
+        indexed = self._indexed_service(store_dir)
+        with pytest.raises(ServingError) as scan_error:
+            plain.top_influenced(0, 50)
+        with pytest.raises(ServingError) as index_error:
+            indexed.top_influenced(0, 50)
+        assert str(scan_error.value) == str(index_error.value)
+
+    @pytest.mark.parametrize("bad_k", [0, -3])
+    def test_non_positive_k_rejected(self, store_dir, bad_k):
+        service = InfluenceService.open(store_dir)
+        with pytest.raises(ServingError, match="positive"):
+            service.top_influencers(0, bad_k)
+
+    def test_k_rejections_are_counted(self, store_dir):
+        service = InfluenceService.open(store_dir)
+        run = RunRecorder(name="test.serve")
+        with recording(run):
+            with pytest.raises(ServingError):
+                service.top_influenced(0, 41)
+            with pytest.raises(ServingError):
+                service.top_influencers(0, 0)
+        samples = run.metrics.snapshot()["serve.query.errors"]["samples"]
+        assert samples == {
+            "direction=influenced,error=ServingError": 1.0,
+            "direction=influencers,error=ServingError": 1.0,
+        }
+
+    def test_batch_rejects_bad_k_on_both_paths(self, store_dir):
+        plain = InfluenceService.open(store_dir)
+        indexed = self._indexed_service(store_dir)
+        for service in (plain, indexed):
+            with pytest.raises(ServingError, match="exceeds num_users"):
+                service.top_influenced_batch([0, 1], 41)
+
+    def test_batch_rejects_out_of_range_users(self, store_dir):
+        service = self._indexed_service(store_dir)
+        with pytest.raises(ServingError, match="universe"):
+            service.top_influenced_batch([0, -1], 3)
+        with pytest.raises(ServingError, match="universe"):
+            service.top_influenced_batch([0, 40], 3)
+
+    def test_batch_rejects_empty_user_list(self, store_dir):
+        service = InfluenceService.open(store_dir)
+        with pytest.raises(ServingError, match="at least one"):
+            service.top_influenced_batch([], 3)
+
+    def test_batch_rejections_are_counted(self, store_dir):
+        service = InfluenceService.open(store_dir)
+        run = RunRecorder(name="test.serve")
+        with recording(run):
+            with pytest.raises(ServingError):
+                service.top_influencers_batch([-1], 3)
+        samples = run.metrics.snapshot()["serve.query.errors"]["samples"]
+        assert samples == {"direction=influencers,error=ServingError": 1.0}
+
+    def test_index_batch_query_rejects_and_counts_bad_users(self, store_dir):
+        service = self._indexed_service(store_dir)
+        run = RunRecorder(name="test.serve")
+        with recording(run):
+            with pytest.raises(ServingError, match="universe"):
+                service.index_batch_query("influenced", [0, 40])
+        samples = run.metrics.snapshot()["serve.query.errors"]["samples"]
+        assert samples == {"direction=influenced,error=ServingError": 1.0}
+
+    def test_valid_k_equal_num_users_still_served(self, store_dir):
+        service = InfluenceService.open(store_dir)
+        result = service.top_influenced(0, 40)
+        assert result.indices.shape == (40,)

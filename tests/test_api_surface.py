@@ -18,6 +18,7 @@ PUBLIC_MODULES = [
     "repro.extensions",
     "repro.experiments",
     "repro.obs",
+    "repro.parallel",
     "repro.serve",
     "repro.utils",
     "repro.viz",
@@ -108,6 +109,19 @@ def test_analysis_public_api_is_pinned():
         "parse_source",
         "run_analysis",
         "save_baseline",
+    }
+
+
+def test_parallel_public_api_is_pinned():
+    """The hogwild training subsystem's surface is a compatibility contract."""
+    import repro.parallel
+
+    assert set(repro.parallel.__all__) == {
+        "HogwildTrainer",
+        "PARAMETER_FIELDS",
+        "SharedEmbedding",
+        "SharedEmbeddingSpec",
+        "shard_episodes",
     }
 
 
