@@ -11,8 +11,11 @@ from repro.apps.citation_study import (
 from repro.apps.influence_max import (
     SeedSelection,
     embedding_edge_probabilities,
+    embedding_pruned_candidates,
     embedding_seed_selection,
     greedy_influence_maximization,
+    ris_influence_maximization,
+    ris_pruned_influence_maximization,
 )
 
 __all__ = [
@@ -24,6 +27,9 @@ __all__ = [
     "train_embedding_model",
     "SeedSelection",
     "embedding_edge_probabilities",
+    "embedding_pruned_candidates",
     "embedding_seed_selection",
     "greedy_influence_maximization",
+    "ris_influence_maximization",
+    "ris_pruned_influence_maximization",
 ]

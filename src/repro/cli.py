@@ -97,14 +97,15 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Reproduce the tables and figures of Inf2vec (ICDE 2018).",
     )
-    choices = list(EXPERIMENTS) + ["all", "train", "serve"]
+    choices = list(EXPERIMENTS) + ["all", "train", "serve", "influence-max"]
     parser.add_argument(
         "experiment",
         choices=choices,
         help=(
             "which table/figure to regenerate ('all' runs everything; "
             "'train' runs one checkpointed training job; 'serve' builds "
-            "and queries the influence serving layer)"
+            "and queries the influence serving layer; 'influence-max' "
+            "selects viral-marketing seeds by MC greedy or RIS sketches)"
         ),
     )
     parser.add_argument(
@@ -216,6 +217,80 @@ def build_parser() -> argparse.ArgumentParser:
         help="stream the training corpus in chunks of this many episodes "
         "per worker instead of materialising it (requires --workers and "
         "uniform negative sampling)",
+    )
+
+    influence = parser.add_argument_group(
+        "influence-maximisation options (influence-max command only)"
+    )
+    influence.add_argument(
+        "--method",
+        choices=("mc", "ris", "ris-pruned"),
+        default="ris",
+        help="seed-selection engine: Monte-Carlo CELF greedy, RIS/IMM "
+        "sketches, or RIS over an embedding-pruned candidate pool "
+        "(default: ris)",
+    )
+    influence.add_argument(
+        "--preset",
+        choices=("digg", "flickr"),
+        default="digg",
+        help="synthetic dataset profile (default: digg); sized by "
+        "--num-users/--num-items, probabilities are the planted "
+        "ground truth",
+    )
+    influence.add_argument(
+        "--num-seeds",
+        type=int,
+        default=10,
+        metavar="K",
+        help="seed-set size to select (default: 10)",
+    )
+    influence.add_argument(
+        "--mc-runs",
+        type=int,
+        default=100,
+        metavar="N",
+        help="Monte-Carlo simulations per spread estimate for --method mc "
+        "(default: 100)",
+    )
+    influence.add_argument(
+        "--mc-candidates",
+        type=int,
+        default=100,
+        metavar="N",
+        help="restrict MC greedy to the N highest-out-degree candidates; "
+        "0 scans every node (default: 100)",
+    )
+    influence.add_argument(
+        "--epsilon",
+        type=float,
+        default=None,
+        metavar="EPS",
+        help="IMM approximation slack for the RIS methods "
+        "(default: library default)",
+    )
+    influence.add_argument(
+        "--max-sketches",
+        type=int,
+        default=None,
+        metavar="N",
+        help="hard cap on the RIS sketch pool (default: library default)",
+    )
+    influence.add_argument(
+        "--num-candidates",
+        type=int,
+        default=None,
+        metavar="N",
+        help="embedding-pruned candidate pool size for --method ris-pruned "
+        "(default: max(64, 16·K))",
+    )
+    influence.add_argument(
+        "--eval-runs",
+        type=int,
+        default=500,
+        metavar="N",
+        help="Monte-Carlo simulations for the final spread evaluation of "
+        "the chosen seeds; 0 skips it (default: 500)",
     )
 
     serving = parser.add_argument_group("serving options (serve command only)")
@@ -388,6 +463,102 @@ def _run_serving(args: argparse.Namespace, parser: argparse.ArgumentParser) -> i
     return 0
 
 
+def _run_influence_max(args: argparse.Namespace) -> int:
+    """The ``influence-max`` command: select and evaluate viral seeds."""
+    import time
+
+    import numpy as np
+
+    from repro.apps.influence_max import (
+        greedy_influence_maximization,
+        ris_influence_maximization,
+        ris_pruned_influence_maximization,
+    )
+    from repro.data.synthetic import SyntheticSocialDataset
+    from repro.diffusion.montecarlo import spread_with_standard_error
+
+    maker = (
+        SyntheticSocialDataset.digg_like
+        if args.preset == "digg"
+        else SyntheticSocialDataset.flickr_like
+    )
+    dataset = maker(
+        num_users=args.num_users, num_items=args.num_items, seed=args.seed
+    )
+    probabilities = dataset.planted.edge_probabilities
+    print(
+        f"{args.preset} preset: {dataset.graph.num_nodes} users, "
+        f"{dataset.graph.num_edges} edges, planted probabilities"
+    )
+
+    sketch_kwargs: dict[str, object] = {}
+    if args.epsilon is not None:
+        sketch_kwargs["epsilon"] = args.epsilon
+    if args.max_sketches is not None:
+        sketch_kwargs["max_sketches"] = args.max_sketches
+
+    start = time.perf_counter()
+    if args.method == "mc":
+        candidates = None
+        if args.mc_candidates:
+            pool = min(args.mc_candidates, dataset.graph.num_nodes)
+            out_degrees = np.diff(dataset.graph.out_csr()[0])
+            candidates = np.sort(np.argsort(-out_degrees)[:pool])
+            print(
+                f"mc greedy over the {pool} highest-out-degree candidates "
+                f"({args.mc_runs} runs per estimate)"
+            )
+        selection = greedy_influence_maximization(
+            probabilities,
+            args.num_seeds,
+            num_runs=args.mc_runs,
+            seed=args.seed,
+            candidates=candidates,
+        )
+    elif args.method == "ris":
+        selection = ris_influence_maximization(
+            probabilities, args.num_seeds, seed=args.seed, **sketch_kwargs
+        )
+    else:
+        from repro.core.inf2vec import Inf2vecConfig, Inf2vecModel
+
+        config = Inf2vecConfig(dim=args.dim, epochs=args.epochs)
+        model = Inf2vecModel(config, seed=args.seed)
+        model.fit(dataset.graph, dataset.log)
+        print(
+            f"trained pruning embedding dim={args.dim} "
+            f"over {args.epochs} epochs"
+        )
+        selection = ris_pruned_influence_maximization(
+            probabilities,
+            model.embedding,
+            args.num_seeds,
+            num_candidates=args.num_candidates,
+            seed=args.seed,
+            **sketch_kwargs,
+        )
+    elapsed = time.perf_counter() - start
+
+    print(
+        f"{args.method} selected {len(selection.seeds)} seeds "
+        f"in {elapsed:.3f}s (internal estimate "
+        f"{selection.expected_spread:.2f})"
+    )
+    print("  seeds: " + " ".join(str(s) for s in selection.seeds))
+    if args.eval_runs:
+        spread, stderr = spread_with_standard_error(
+            probabilities,
+            selection.seeds,
+            num_runs=args.eval_runs,
+            seed=args.seed + 1,
+        )
+        print(
+            f"  MC-evaluated spread over {args.eval_runs} runs: "
+            f"{spread:.2f} +/- {stderr:.2f}"
+        )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
@@ -437,6 +608,8 @@ def main(argv: list[str] | None = None) -> int:
                 exit_code = _run_training(args)
             elif args.experiment == "serve":
                 exit_code = _run_serving(args, parser)
+            elif args.experiment == "influence-max":
+                exit_code = _run_influence_max(args)
             else:
                 exit_code = 0
                 for name in names:

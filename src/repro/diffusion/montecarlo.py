@@ -22,6 +22,35 @@ from repro.utils.validation import check_positive_int
 PAPER_NUM_RUNS = 5000
 
 
+def _simulate_sizes(
+    probabilities: EdgeProbabilities,
+    seeds: Sequence[int],
+    num_runs: int,
+    seed: SeedLike,
+    fast: bool,
+    counts: np.ndarray | None = None,
+) -> np.ndarray:
+    """The one simulate loop behind all three public estimators.
+
+    Draws ``num_runs`` cascades from a single RNG stream (so every
+    estimator sees the same sequence of simulations for a given seed)
+    and returns the per-run cascade sizes.  When ``counts`` is given,
+    each cascade's activated nodes are additionally accumulated into it
+    in place — the caller owns the buffer, so repeated estimates can
+    reuse one allocation.
+    """
+    num_runs = check_positive_int("num_runs", num_runs)
+    rng = ensure_rng(seed)
+    simulate = simulate_ic_fast if fast else simulate_ic
+    sizes = np.empty(num_runs, dtype=np.float64)
+    for i in range(num_runs):
+        result = simulate(probabilities, seeds, rng)
+        sizes[i] = result.size
+        if counts is not None:
+            counts[result.activated] += 1
+    return sizes
+
+
 def activation_frequencies(
     probabilities: EdgeProbabilities,
     seeds: Sequence[int],
@@ -36,14 +65,9 @@ def activation_frequencies(
     1.0 by construction.  ``fast`` selects the vectorised simulator
     (identical distribution; see :func:`repro.diffusion.ic.simulate_ic_fast`).
     """
-    num_runs = check_positive_int("num_runs", num_runs)
-    rng = ensure_rng(seed)
-    simulate = simulate_ic_fast if fast else simulate_ic
     counts = np.zeros(probabilities.graph.num_nodes, dtype=np.int64)
-    for _ in range(num_runs):
-        result = simulate(probabilities, seeds, rng)
-        counts[result.activated] += 1
-    return counts / num_runs
+    sizes = _simulate_sizes(probabilities, seeds, num_runs, seed, fast, counts)
+    return counts / sizes.shape[0]
 
 
 def expected_spread(
@@ -54,13 +78,9 @@ def expected_spread(
     fast: bool = True,
 ) -> float:
     """Monte-Carlo estimate of the expected cascade size ``sigma(seeds)``."""
-    num_runs = check_positive_int("num_runs", num_runs)
-    rng = ensure_rng(seed)
-    simulate = simulate_ic_fast if fast else simulate_ic
-    total = 0
-    for _ in range(num_runs):
-        total += simulate(probabilities, seeds, rng).size
-    return total / num_runs
+    return float(
+        _simulate_sizes(probabilities, seeds, num_runs, seed, fast).mean()
+    )
 
 
 def spread_with_standard_error(
@@ -71,13 +91,8 @@ def spread_with_standard_error(
     fast: bool = True,
 ) -> tuple[float, float]:
     """Expected spread plus the standard error of the MC estimate."""
-    num_runs = check_positive_int("num_runs", num_runs)
-    rng = ensure_rng(seed)
-    simulate = simulate_ic_fast if fast else simulate_ic
-    sizes = np.empty(num_runs, dtype=np.float64)
-    for i in range(num_runs):
-        sizes[i] = simulate(probabilities, seeds, rng).size
+    sizes = _simulate_sizes(probabilities, seeds, num_runs, seed, fast)
     mean = float(sizes.mean())
-    if num_runs == 1:
+    if sizes.shape[0] == 1:
         return mean, 0.0
-    return mean, float(sizes.std(ddof=1) / np.sqrt(num_runs))
+    return mean, float(sizes.std(ddof=1) / np.sqrt(sizes.shape[0]))

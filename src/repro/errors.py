@@ -68,6 +68,16 @@ class ServingError(ReproError):
     """
 
 
+class SketchError(ReproError):
+    """Raised for unusable sketch-based influence-maximisation inputs.
+
+    Examples include a reverse-reachable pool whose flattened layout is
+    inconsistent (indptr/node arrays disagree), a max-coverage request
+    for more seeds than the candidate pool holds, or an adaptive
+    sampling schedule asked to run on an empty graph.
+    """
+
+
 class CheckpointError(ReproError):
     """Raised for unusable training checkpoints.
 

@@ -1,7 +1,8 @@
 """Perf-regression gate over persisted benchmark reports.
 
-The serving and training benchmark drivers persist machine-readable
-reports (``BENCH_serving.json``, ``BENCH_training.json``) at the
+The serving, training, and influence-maximisation benchmark drivers
+persist machine-readable reports (``BENCH_serving.json``,
+``BENCH_training.json``, ``BENCH_influence_max.json``) at the
 repository root.  Checked-in copies under ``benchmarks/baselines/``
 are the agreed working points; this module compares a fresh run
 against them with per-metric relative thresholds and turns "the scan
@@ -45,7 +46,11 @@ __all__ = [
 ]
 
 #: Benchmark report files the gate knows about (repo-root relative).
-REPORT_FILES = ("BENCH_serving.json", "BENCH_training.json")
+REPORT_FILES = (
+    "BENCH_serving.json",
+    "BENCH_training.json",
+    "BENCH_influence_max.json",
+)
 
 #: Where the agreed-upon baseline copies live (repo-root relative).
 DEFAULT_BASELINE_DIR = "benchmarks/baselines"
@@ -131,6 +136,14 @@ DEFAULT_POLICIES: Mapping[str, Sequence[MetricPolicy]] = {
         # efficiency ratios — those track the host's core count, which
         # the baseline can't promise.
         MetricPolicy("parallel.workers.*.examples_per_sec", "higher", 0.50),
+    ),
+    "BENCH_influence_max.json": (
+        MetricPolicy("presets.*.methods.*.selection_seconds", "lower", 0.75),
+        MetricPolicy("presets.*.speedup_ris_vs_mc", "higher", 0.50),
+        # Quality floor: MC-evaluated spread of each method's seed set
+        # (seeded evaluator, so drift here means the selection itself
+        # changed for the worse, not simulation noise).
+        MetricPolicy("presets.*.methods.*.spread", "higher", 0.25),
     ),
 }
 

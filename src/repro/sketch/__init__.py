@@ -1,0 +1,45 @@
+"""repro.sketch — sketch-based (RIS/IMM) influence maximisation.
+
+Replaces Monte-Carlo greedy seed selection with reverse-reachable
+sampling over the CSR propagation network:
+
+* :mod:`repro.sketch.rrsets` — :class:`RRGenerator` samples RR sets in
+  vectorised lockstep batches over the transposed CSR adjacency;
+  :class:`RRSketchPool` stores them flattened with an inverted
+  node→sketch index;
+* :mod:`repro.sketch.schedule` — :func:`adaptive_rr_pool`: the
+  IMM-style two-phase schedule (OPT lower bound + martingale stopping)
+  that sizes the pool from the data instead of a hard-coded count;
+* :mod:`repro.sketch.select` — :func:`max_coverage_seeds`: CELF-style
+  lazy greedy max-coverage over the pool, near-linear in the flattened
+  pool size.
+
+The application-facing entry points
+(:func:`repro.apps.influence_max.ris_influence_maximization` and its
+embedding-pruned variant) wrap these into the same
+:class:`~repro.apps.influence_max.SeedSelection` result the
+Monte-Carlo path returns.
+"""
+
+from repro.sketch.rrsets import (
+    RRGenerator,
+    RRSketchPool,
+    reverse_edge_probabilities,
+)
+from repro.sketch.schedule import (
+    SketchSchedule,
+    adaptive_rr_pool,
+    log_binomial,
+)
+from repro.sketch.select import MaxCoverageResult, max_coverage_seeds
+
+__all__ = [
+    "MaxCoverageResult",
+    "RRGenerator",
+    "RRSketchPool",
+    "SketchSchedule",
+    "adaptive_rr_pool",
+    "log_binomial",
+    "max_coverage_seeds",
+    "reverse_edge_probabilities",
+]

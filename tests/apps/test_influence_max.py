@@ -1,17 +1,25 @@
 """Unit tests for influence maximisation."""
 
+import math
+
 import numpy as np
 import pytest
 
 from repro.apps.influence_max import (
     embedding_edge_probabilities,
+    embedding_pruned_candidates,
     embedding_seed_selection,
     greedy_influence_maximization,
+    ris_influence_maximization,
+    ris_pruned_influence_maximization,
 )
 from repro.core.embeddings import InfluenceEmbedding
 from repro.data.graph import SocialGraph
+from repro.data.synthetic import SyntheticSocialDataset
+from repro.diffusion.montecarlo import spread_with_standard_error
 from repro.diffusion.probabilities import EdgeProbabilities
 from repro.errors import EvaluationError
+from repro.sketch.rrsets import RRGenerator, RRSketchPool
 
 
 @pytest.fixture
@@ -110,6 +118,182 @@ class TestEmbeddingSelection:
             embedding_seed_selection(emb, 4)
         with pytest.raises(EvaluationError):
             embedding_seed_selection(emb, 1, coverage_penalty=-1.0)
+
+
+class TestGreedyMatchesBruteForce:
+    """CELF lazy greedy must equal exhaustive greedy on a planted graph.
+
+    Every edge is certain (p = 1.0), so the Monte-Carlo spread estimate
+    is exact regardless of seed or run count and the comparison is free
+    of simulation noise.
+    """
+
+    @pytest.fixture
+    def layered_probs(self) -> EdgeProbabilities:
+        edges = [
+            (0, 1), (0, 2), (0, 3), (0, 4),  # big hub
+            (5, 6), (5, 7), (6, 8),          # chain-y hub
+            (9, 10),                          # small pair
+        ]
+        graph = SocialGraph(12, edges)
+        return EdgeProbabilities.from_dict(graph, {e: 1.0 for e in edges})
+
+    @staticmethod
+    def _exact_spread(probabilities, seeds):
+        graph = probabilities.graph
+        indptr, indices = graph.out_csr()
+        reached = set(int(s) for s in seeds)
+        frontier = list(reached)
+        while frontier:
+            node = frontier.pop()
+            for nxt in indices[indptr[node] : indptr[node + 1]]:
+                if int(nxt) not in reached:
+                    reached.add(int(nxt))
+                    frontier.append(int(nxt))
+        return len(reached)
+
+    def test_celf_equals_exhaustive_greedy(self, layered_probs):
+        num_seeds = 4
+        chosen, gains = [], []
+        current = 0
+        for _ in range(num_seeds):
+            best_node, best_gain = None, -1
+            for node in range(layered_probs.graph.num_nodes):
+                if node in chosen:
+                    continue
+                gain = self._exact_spread(layered_probs, chosen + [node]) - current
+                if gain > best_gain:
+                    best_node, best_gain = node, gain
+            chosen.append(best_node)
+            gains.append(best_gain)
+            current += best_gain
+        result = greedy_influence_maximization(
+            layered_probs, num_seeds, num_runs=10, seed=0
+        )
+        assert result.seeds == tuple(chosen)
+        assert result.marginal_gains == pytest.approx(tuple(gains))
+        assert result.expected_spread == pytest.approx(current)
+
+
+class TestRIS:
+    @pytest.fixture
+    def planted_probs(self) -> EdgeProbabilities:
+        data = SyntheticSocialDataset.digg_like(
+            num_users=150, num_items=25, seed=8
+        )
+        return data.planted.edge_probabilities
+
+    def test_picks_hub_first(self, star_probs):
+        result = ris_influence_maximization(star_probs, 1, seed=0)
+        assert result.seeds == (0,)
+        # Certain star: sigma({0}) = 5 exactly; the sketch estimate has
+        # sampling error but the pool is large enough to land close.
+        assert result.expected_spread == pytest.approx(5.0, rel=0.1)
+
+    def test_same_seed_identical_selection(self, planted_probs):
+        a = ris_influence_maximization(planted_probs, 5, seed=3)
+        b = ris_influence_maximization(planted_probs, 5, seed=3)
+        assert a.seeds == b.seeds
+        assert a.expected_spread == b.expected_spread
+
+    def test_candidates_respected(self, planted_probs):
+        candidates = [4, 8, 15, 16, 23, 42]
+        result = ris_influence_maximization(
+            planted_probs, 3, seed=0, candidates=candidates
+        )
+        assert all(s in candidates for s in result.seeds)
+
+    def test_marginal_gains_non_increasing(self, planted_probs):
+        result = ris_influence_maximization(planted_probs, 6, seed=1)
+        gains = list(result.marginal_gains)
+        assert gains == sorted(gains, reverse=True)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_fixed_set_estimate_agrees_with_monte_carlo(
+        self, planted_probs, seed
+    ):
+        """RIS and MC estimate the same sigma(S) for *fixed* seed sets.
+
+        Both estimators carry sampling error, so agreement is asserted
+        within 4 combined standard errors (the RIS coverage count is a
+        binomial over independent sketches; 3 SEs trips on ordinary
+        fluctuations — seed 2 lands at 3.3 SEs while an exact live-edge
+        enumeration confirms both estimators are unbiased).  Selected-on-
+        the-pool seed sets would not satisfy this — their coverage is
+        upward-biased — which is exactly why the comparison uses
+        pre-chosen sets.
+        """
+        n = planted_probs.graph.num_nodes
+        pool = RRSketchPool(
+            n, *RRGenerator(planted_probs, seed=seed).generate(40_000)
+        )
+        rng = np.random.default_rng(seed)
+        fixed_seeds = rng.choice(n, size=5, replace=False).tolist()
+        mc, mc_se = spread_with_standard_error(
+            planted_probs, fixed_seeds, num_runs=4000, seed=seed + 100
+        )
+        ris = pool.spread_estimate(fixed_seeds)
+        fraction = ris / n
+        ris_se = n * math.sqrt(
+            fraction * (1.0 - fraction) / pool.num_sketches
+        )
+        combined = math.sqrt(mc_se**2 + ris_se**2)
+        assert abs(ris - mc) <= 4.0 * combined, (ris, mc, combined)
+
+    def test_invalid_inputs(self, star_probs):
+        with pytest.raises(EvaluationError):
+            ris_influence_maximization(star_probs, 99, seed=0)
+        with pytest.raises(EvaluationError):
+            ris_influence_maximization(
+                star_probs, 3, seed=0, candidates=[0, 1]
+            )
+        with pytest.raises(ValueError):
+            ris_influence_maximization(star_probs, 0, seed=0)
+
+
+class TestRISPruned:
+    @pytest.fixture
+    def planted_probs(self) -> EdgeProbabilities:
+        data = SyntheticSocialDataset.digg_like(
+            num_users=120, num_items=20, seed=4
+        )
+        return data.planted.edge_probabilities
+
+    @pytest.fixture
+    def embedding(self, planted_probs) -> InfluenceEmbedding:
+        return InfluenceEmbedding.initialize(
+            planted_probs.graph.num_nodes, 8, seed=0
+        )
+
+    def test_seeds_come_from_pruned_pool(self, planted_probs, embedding):
+        num_candidates = 24
+        result = ris_pruned_influence_maximization(
+            planted_probs, embedding, 4, num_candidates=num_candidates, seed=5
+        )
+        pruned = set(
+            embedding_pruned_candidates(embedding, num_candidates).tolist()
+        )
+        assert set(result.seeds) <= pruned
+
+    def test_same_seed_identical_selection(self, planted_probs, embedding):
+        a = ris_pruned_influence_maximization(
+            planted_probs, embedding, 3, seed=2
+        )
+        b = ris_pruned_influence_maximization(
+            planted_probs, embedding, 3, seed=2
+        )
+        assert a.seeds == b.seeds
+
+    def test_pruned_candidates_shape(self, embedding):
+        candidates = embedding_pruned_candidates(embedding, 10)
+        assert candidates.shape == (10,)
+        assert np.unique(candidates).shape == (10,)
+        assert np.all(np.diff(candidates) > 0)  # sorted ids
+
+    def test_embedding_size_mismatch_rejected(self, planted_probs):
+        wrong = InfluenceEmbedding.initialize(7, 4, seed=0)
+        with pytest.raises(EvaluationError):
+            ris_pruned_influence_maximization(planted_probs, wrong, 2, seed=0)
 
 
 class TestEmbeddingEdgeProbabilities:

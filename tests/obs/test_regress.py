@@ -95,11 +95,25 @@ def report_dirs(tmp_path):
         "context_generation": {"batched_seconds": 0.5, "speedup": 4.0},
         "train_epoch": {"batched_seconds": 2.0, "speedup": 5.0},
     }
+    influence_max = {
+        "presets": {
+            "digg_like": {
+                "speedup_ris_vs_mc": 30.0,
+                "methods": {
+                    "ris": {"selection_seconds": 0.4, "spread": 22.0},
+                    "mc_greedy": {"selection_seconds": 12.0, "spread": 21.0},
+                },
+            }
+        }
+    }
     base, cur = tmp_path / "base", tmp_path / "cur"
     for directory in (base, cur):
         directory.mkdir()
         (directory / "BENCH_serving.json").write_text(json.dumps(serving))
         (directory / "BENCH_training.json").write_text(json.dumps(training))
+        (directory / "BENCH_influence_max.json").write_text(
+            json.dumps(influence_max)
+        )
     return base, cur
 
 
@@ -150,10 +164,11 @@ class TestMain:
 
 
 class TestCheckedInBaselines:
-    def test_default_policies_cover_both_reports(self):
+    def test_default_policies_cover_all_reports(self):
         assert set(DEFAULT_POLICIES) == {
             "BENCH_serving.json",
             "BENCH_training.json",
+            "BENCH_influence_max.json",
         }
 
     def test_latency_budgets_catch_a_2x_slowdown(self):

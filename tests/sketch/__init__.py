@@ -1,0 +1,1 @@
+"""Tests for the sketch-based influence-maximisation subsystem."""

@@ -1,0 +1,174 @@
+"""Unit tests for reverse-reachable set generation and pooling."""
+
+import numpy as np
+import pytest
+
+from repro.data.graph import SocialGraph
+from repro.data.synthetic import SyntheticSocialDataset
+from repro.diffusion.probabilities import EdgeProbabilities
+from repro.errors import SketchError
+from repro.sketch.rrsets import (
+    RRGenerator,
+    RRSketchPool,
+    reverse_edge_probabilities,
+)
+
+
+@pytest.fixture
+def chain_probs() -> EdgeProbabilities:
+    """0 -> 1 -> 2 -> 3, every edge certain."""
+    graph = SocialGraph(4, [(0, 1), (1, 2), (2, 3)])
+    return EdgeProbabilities.from_dict(
+        graph, {(0, 1): 1.0, (1, 2): 1.0, (2, 3): 1.0}
+    )
+
+
+@pytest.fixture
+def planted_probs() -> EdgeProbabilities:
+    data = SyntheticSocialDataset.digg_like(num_users=120, num_items=20, seed=5)
+    return data.planted.edge_probabilities
+
+
+class TestReverseEdgeProbabilities:
+    def test_values_follow_in_csr_order(self, planted_probs):
+        """Every in-edge of every node carries its forward probability."""
+        graph = planted_probs.graph
+        lookup = {
+            (int(u), int(v)): float(p)
+            for (u, v), p in zip(
+                graph.edge_array(), planted_probs.values
+            )
+        }
+        in_indptr, in_indices, in_values = reverse_edge_probabilities(
+            planted_probs
+        )
+        for v in range(graph.num_nodes):
+            sources = in_indices[in_indptr[v] : in_indptr[v + 1]]
+            values = in_values[in_indptr[v] : in_indptr[v + 1]]
+            for u, p in zip(sources, values):
+                assert lookup[(int(u), v)] == p
+
+    def test_shapes_align(self, chain_probs):
+        in_indptr, in_indices, in_values = reverse_edge_probabilities(
+            chain_probs
+        )
+        assert in_indptr.shape[0] == chain_probs.graph.num_nodes + 1
+        assert in_indices.shape == in_values.shape
+
+
+class TestRRGenerator:
+    def test_certain_chain_yields_full_ancestry(self, chain_probs):
+        """With p=1 everywhere an RR set is the root plus all ancestors."""
+        generator = RRGenerator(chain_probs, seed=0)
+        pool = RRSketchPool(4, *generator.generate(200))
+        for i in range(pool.num_sketches):
+            members = pool.sketch(i)
+            root = int(members[0])  # roots recorded first
+            assert set(members.tolist()) == set(range(root + 1))
+
+    def test_same_seed_same_pool(self, planted_probs):
+        a = RRGenerator(planted_probs, seed=42).generate(500)
+        b = RRGenerator(planted_probs, seed=42).generate(500)
+        np.testing.assert_array_equal(a[0], b[0])
+        np.testing.assert_array_equal(a[1], b[1])
+
+    def test_different_seeds_differ(self, planted_probs):
+        a = RRGenerator(planted_probs, seed=1).generate(500)
+        b = RRGenerator(planted_probs, seed=2).generate(500)
+        assert not (
+            a[1].shape == b[1].shape and np.array_equal(a[1], b[1])
+        )
+
+    def test_successive_calls_extend_one_stream(self, planted_probs):
+        """generate(a); generate(b) equals generate(a+b) with one seed.
+
+        Holds when ``a`` is a multiple of ``batch_size``: roots are drawn
+        one batch at a time, so both call sequences consume the generator's
+        stream in identical chunks (64 | 64,64,8 versus 64,64,64,8).
+        """
+        split = RRGenerator(planted_probs, seed=7, batch_size=64)
+        pool = RRSketchPool(planted_probs.graph.num_nodes, *split.generate(64))
+        pool = pool.extended(*split.generate(136))
+        whole = RRSketchPool(
+            planted_probs.graph.num_nodes,
+            *RRGenerator(planted_probs, seed=7, batch_size=64).generate(200),
+        )
+        np.testing.assert_array_equal(pool.indptr, whole.indptr)
+        np.testing.assert_array_equal(pool.nodes, whole.nodes)
+
+    def test_members_are_unique_per_sketch(self, planted_probs):
+        generator = RRGenerator(planted_probs, seed=3)
+        pool = RRSketchPool(
+            planted_probs.graph.num_nodes, *generator.generate(300)
+        )
+        for i in range(pool.num_sketches):
+            members = pool.sketch(i)
+            assert np.unique(members).shape[0] == members.shape[0]
+
+    def test_empty_graph_rejected(self):
+        graph = SocialGraph(0, [])
+        probs = EdgeProbabilities(graph, np.empty(0))
+        with pytest.raises(SketchError):
+            RRGenerator(probs)
+
+    def test_bad_count_rejected(self, chain_probs):
+        with pytest.raises(ValueError):
+            RRGenerator(chain_probs, seed=0).generate(0)
+
+
+class TestRRSketchPool:
+    def _pool(self) -> RRSketchPool:
+        # Sketches: {0, 1}, {1}, {2, 0}, {} over 3 nodes.
+        return RRSketchPool(
+            3, np.array([0, 2, 3, 5, 5]), np.array([0, 1, 1, 2, 0])
+        )
+
+    def test_basic_accessors(self):
+        pool = self._pool()
+        assert pool.num_sketches == 4
+        np.testing.assert_array_equal(pool.sizes(), [2, 1, 2, 0])
+        np.testing.assert_array_equal(pool.sketch(2), [2, 0])
+        np.testing.assert_array_equal(pool.coverage_counts(), [2, 2, 1])
+
+    def test_inverted_index_round_trip(self):
+        pool = self._pool()
+        assert sorted(pool.sketches_containing(0).tolist()) == [0, 2]
+        assert sorted(pool.sketches_containing(1).tolist()) == [0, 1]
+        assert pool.sketches_containing(2).tolist() == [2]
+
+    def test_spread_estimate_counts_distinct_sketches(self):
+        pool = self._pool()
+        # {0} covers sketches {0, 2}; {0, 1} covers {0, 1, 2}.
+        assert pool.spread_estimate([0]) == pytest.approx(3 * 2 / 4)
+        assert pool.spread_estimate([0, 1]) == pytest.approx(3 * 3 / 4)
+        assert pool.spread_scale() == pytest.approx(3 / 4)
+
+    def test_extended_appends(self):
+        pool = self._pool().extended(np.array([0, 1]), np.array([2]))
+        assert pool.num_sketches == 5
+        np.testing.assert_array_equal(pool.sketch(4), [2])
+
+    def test_invalid_layouts_rejected(self):
+        with pytest.raises(SketchError):
+            RRSketchPool(3, np.array([1, 2]), np.array([0, 1]))
+        with pytest.raises(SketchError):
+            RRSketchPool(3, np.array([0, 3]), np.array([0, 1]))
+        with pytest.raises(SketchError):
+            RRSketchPool(3, np.array([0, 1]), np.array([7]))
+        with pytest.raises(SketchError):
+            self._pool().sketch(99)
+        with pytest.raises(SketchError):
+            self._pool().sketches_containing(-1)
+        with pytest.raises(SketchError):
+            RRSketchPool.empty(3).spread_estimate([0])
+
+    def test_batch_buffer_reuse_does_not_leak_state(self, planted_probs):
+        """Small batches reuse the visited buffer; sketches stay valid."""
+        generator = RRGenerator(planted_probs, seed=11, batch_size=8)
+        pool = RRSketchPool(
+            planted_probs.graph.num_nodes, *generator.generate(100)
+        )
+        assert pool.num_sketches == 100
+        for i in range(pool.num_sketches):
+            members = pool.sketch(i)
+            assert np.unique(members).shape[0] == members.shape[0]

@@ -20,6 +20,7 @@ PUBLIC_MODULES = [
     "repro.obs",
     "repro.parallel",
     "repro.serve",
+    "repro.sketch",
     "repro.utils",
     "repro.viz",
 ]

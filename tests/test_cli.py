@@ -188,3 +188,58 @@ class TestTrainCommand:
         counters = json.loads(metrics_out.read_text())["metrics"]
         assert "ckpt.saves" in counters
         assert "ckpt.write_seconds" in counters
+
+
+class TestInfluenceMaxCommand:
+    TINY = [
+        "influence-max", "--num-users", "60", "--num-items", "12",
+        "--num-seeds", "3", "--eval-runs", "30", "--seed", "1",
+    ]
+
+    def test_args_parse_with_defaults(self):
+        args = build_parser().parse_args(["influence-max"])
+        assert args.method == "ris"
+        assert args.preset == "digg"
+        assert args.num_seeds == 10
+
+    def test_ris_end_to_end(self, capsys):
+        assert main(self.TINY) == 0
+        out = capsys.readouterr().out
+        assert "ris selected 3 seeds" in out
+        assert "MC-evaluated spread" in out
+
+    def test_mc_end_to_end(self, capsys):
+        assert main(
+            self.TINY
+            + ["--method", "mc", "--mc-runs", "10", "--mc-candidates", "15"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "mc greedy over the 15 highest-out-degree candidates" in out
+        assert "mc selected 3 seeds" in out
+
+    def test_ris_pruned_end_to_end(self, capsys):
+        assert main(
+            self.TINY
+            + ["--method", "ris-pruned", "--epochs", "1", "--dim", "4"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "trained pruning embedding" in out
+        assert "ris-pruned selected 3 seeds" in out
+
+    def test_flickr_preset_and_no_eval(self, capsys):
+        assert main(
+            self.TINY + ["--preset", "flickr", "--eval-runs", "0"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "flickr preset" in out
+        assert "MC-evaluated" not in out
+
+    def test_same_seed_same_seeds_printed(self, capsys):
+        main(self.TINY)
+        first = capsys.readouterr().out
+        main(self.TINY)
+        second = capsys.readouterr().out
+        seeds = [l for l in first.splitlines() if l.startswith("  seeds:")]
+        assert seeds == [
+            l for l in second.splitlines() if l.startswith("  seeds:")
+        ]
