@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Fail if the analysis baseline grew relative to the merge base.
+
+The checked-in ``.analysis-baseline.json`` is a ratchet: entries may
+be removed as grandfathered findings get fixed, but a change may never
+*add* entries — new code must satisfy every invariant outright rather
+than grandfathering fresh violations.  CI runs this against the merge
+base of the target branch::
+
+    python scripts/check_baseline_ratchet.py --base origin/main
+
+Exit codes: 0 — baseline shrank or is unchanged; 1 — new entries were
+added; 2 — git could not produce a merge base (usage error).
+
+The file format is owned by ``repro.analysis.baseline``; this script
+reads the raw JSON so it runs without an installed package.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+BASELINE = ".analysis-baseline.json"
+
+
+def _entries(raw: str, origin: str) -> set[str]:
+    try:
+        payload = json.loads(raw)
+        entries = payload["entries"]
+    except (json.JSONDecodeError, KeyError, TypeError) as exc:
+        sys.stderr.write(f"unreadable baseline from {origin}: {exc}\n")
+        raise SystemExit(2)
+    return set(entries)
+
+
+def _git(*argv: str) -> str:
+    result = subprocess.run(
+        ["git", *argv], capture_output=True, text=True, check=False
+    )
+    if result.returncode != 0:
+        sys.stderr.write(result.stderr)
+        raise SystemExit(2)
+    return result.stdout
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--base",
+        default="origin/main",
+        metavar="REF",
+        help="ref to ratchet against via merge-base (default: origin/main)",
+    )
+    args = parser.parse_args(argv)
+
+    merge_base = _git("merge-base", "HEAD", args.base).strip()
+    base_raw = subprocess.run(
+        ["git", "show", f"{merge_base}:{BASELINE}"],
+        capture_output=True,
+        text=True,
+        check=False,
+    )
+    # No baseline at the merge base: everything current counts as growth.
+    base = (
+        _entries(base_raw.stdout, merge_base)
+        if base_raw.returncode == 0
+        else set()
+    )
+
+    current_path = Path(BASELINE)
+    current = (
+        _entries(current_path.read_text(), BASELINE)
+        if current_path.is_file()
+        else set()
+    )
+
+    added = sorted(current - base)
+    removed = sorted(base - current)
+    if removed:
+        print(f"baseline shrank by {len(removed)} entr(y/ies) — good.")
+    if added:
+        print(
+            f"baseline grew by {len(added)} entr(y/ies) vs {merge_base[:12]}:"
+        )
+        for entry in added:
+            print(f"  + {entry}")
+        print(
+            "fix the findings (or suppress a justified one in place with "
+            "`# lint: disable=<rule>`) instead of grandfathering them."
+        )
+        return 1
+    print(f"baseline ok: {len(current)} entr(y/ies), none added.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -13,6 +13,13 @@ the rule suite encoding each invariant — see
 :data:`repro.analysis.rules.ALL_RULES` and DESIGN.md
 "Coding invariants".
 
+Since the subsystems grew cross-file contracts (hogwild write
+discipline, serving determinism, the telemetry catalog), the checker
+runs a second pass: :mod:`repro.analysis.project` builds a
+whole-project symbol table and import graph from the same cached
+parses, and :data:`repro.analysis.rules.ALL_PROJECT_RULES` checks
+resolved symbols across module boundaries.
+
 Run it locally::
 
     PYTHONPATH=src python -m repro.analysis            # scan src/repro
@@ -43,18 +50,43 @@ from repro.analysis.core import (
     parse_source,
     run_analysis,
 )
-from repro.analysis.rules import ALL_RULES, default_rules, get_rule
+from repro.analysis.project import (
+    ModuleInfo,
+    ProjectAstRule,
+    ProjectGraph,
+    ProjectRule,
+    analyze_project,
+    build_project_graph,
+    build_project_graph_from_sources,
+    run_project_rules,
+)
+from repro.analysis.rules import (
+    ALL_PROJECT_RULES,
+    ALL_RULES,
+    default_project_rules,
+    default_rules,
+    get_rule,
+)
 
 __all__ = [
+    "ALL_PROJECT_RULES",
     "ALL_RULES",
     "AstRule",
     "BASELINE_FILENAME",
     "Finding",
+    "ModuleInfo",
     "PARSE_ERROR_RULE",
     "ParsedFile",
+    "ProjectAstRule",
+    "ProjectGraph",
+    "ProjectRule",
     "Rule",
+    "analyze_project",
     "analyze_source",
     "baseline_key",
+    "build_project_graph",
+    "build_project_graph_from_sources",
+    "default_project_rules",
     "default_rules",
     "discover_baseline",
     "get_rule",

@@ -4,6 +4,21 @@ Exit codes: **0** — clean tree; **1** — findings (each printed as
 ``path:line: rule-id: message``); **2** — usage error (unknown rule,
 bad root, unreadable baseline).
 
+Both passes run by default: the per-file rules walk each file
+independently, then the project rules run over the whole-project
+graph (symbol table + import graph, see
+:mod:`repro.analysis.project`) built from the same cached parses.
+Reference trees (``tests``, ``benchmarks``, ``examples``,
+``scripts`` next to the scanned root, or ``--reference-root``)
+contribute usage edges to the graph but are never checked.
+
+``--graph`` dumps the project graph as JSON instead of running rules.
+``--changed-only`` restricts the per-file pass to files changed
+against ``--base-ref`` (``git diff --name-only`` plus untracked) and
+skips the project pass — cross-file rules need the whole graph, so
+pre-commit runs stay sub-second at the cost of deferring project
+rules to CI and the pytest guard.
+
 By default the tree's checked-in baseline
 (:data:`repro.analysis.baseline.BASELINE_FILENAME`, discovered by
 walking up from the scanned root) filters grandfathered findings;
@@ -19,6 +34,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import subprocess
 import sys
 import time
 from pathlib import Path
@@ -32,10 +48,25 @@ from repro.analysis.baseline import (
     save_baseline,
 )
 from repro.analysis.core import Finding, Rule, run_analysis
-from repro.analysis.rules import ALL_RULES, default_rules, get_rule
+from repro.analysis.project import (
+    ProjectRule,
+    build_project_graph,
+    is_project_rule,
+    run_project_rules,
+)
+from repro.analysis.rules import (
+    ALL_PROJECT_RULES,
+    ALL_RULES,
+    default_project_rules,
+    default_rules,
+    get_rule,
+)
 from repro.errors import ReproError
 
-_JSON_SCHEMA_VERSION = 1
+_JSON_SCHEMA_VERSION = 2
+
+#: Sibling directories that feed usage edges into the project graph.
+DEFAULT_REFERENCE_ROOTS = ("tests", "benchmarks", "examples", "scripts")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -44,7 +75,8 @@ def build_parser() -> argparse.ArgumentParser:
         prog="python -m repro.analysis",
         description=(
             "AST-based invariant checker: enforces the reproducibility, "
-            "telemetry, and persistence contracts over the source tree."
+            "telemetry, and persistence contracts over the source tree, "
+            "per file and across the whole project graph."
         ),
     )
     parser.add_argument(
@@ -70,6 +102,37 @@ def build_parser() -> argparse.ArgumentParser:
         help="output format (default: text)",
     )
     parser.add_argument(
+        "--graph",
+        action="store_true",
+        help="dump the project graph as JSON instead of running rules",
+    )
+    parser.add_argument(
+        "--reference-root",
+        action="append",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help=(
+            "directory whose imports count as usage in the project "
+            "graph but is never checked (repeatable; default: tests, "
+            "benchmarks, examples, scripts next to the first root)"
+        ),
+    )
+    parser.add_argument(
+        "--changed-only",
+        action="store_true",
+        help=(
+            "check only files changed against --base-ref (per-file "
+            "rules only; the project pass is skipped)"
+        ),
+    )
+    parser.add_argument(
+        "--base-ref",
+        default="HEAD",
+        metavar="REF",
+        help="git ref --changed-only diffs against (default: HEAD)",
+    )
+    parser.add_argument(
         "--baseline",
         type=Path,
         default=None,
@@ -89,16 +152,24 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _select_rules(spec: str | None, parser: argparse.ArgumentParser) -> list[Rule]:
+def _select_rules(
+    spec: str | None, parser: argparse.ArgumentParser
+) -> tuple[list[Rule], list[ProjectRule]]:
+    """``(per-file rules, project rules)`` for a ``--rules`` spec."""
     if spec is None:
-        return default_rules()
-    rules: list[Rule] = []
+        return default_rules(), default_project_rules()
+    file_rules: list[Rule] = []
+    project_rules: list[ProjectRule] = []
     for rule_id in spec.split(","):
         try:
-            rules.append(get_rule(rule_id.strip()))
+            rule = get_rule(rule_id.strip())
         except KeyError as exc:
             parser.error(str(exc.args[0]))
-    return rules
+        if is_project_rule(rule):
+            project_rules.append(rule)
+        else:
+            file_rules.append(rule)
+    return file_rules, project_rules
 
 
 def _default_roots() -> list[Path]:
@@ -106,6 +177,39 @@ def _default_roots() -> list[Path]:
     if candidate.is_dir():
         return [candidate]
     return []
+
+
+def _reference_roots(args: argparse.Namespace) -> list[Path]:
+    if args.reference_root is not None:
+        return [root for root in args.reference_root if root.is_dir()]
+    return [
+        Path(name) for name in DEFAULT_REFERENCE_ROOTS if Path(name).is_dir()
+    ]
+
+
+def _changed_files(base_ref: str) -> frozenset[str] | None:
+    """Resolved paths of files changed vs ``base_ref`` plus untracked.
+
+    Returns ``None`` when git is unavailable or the ref does not
+    resolve (the caller turns that into a usage error).
+    """
+    changed: set[str] = set()
+    for command in (
+        ["git", "diff", "--name-only", base_ref, "--"],
+        ["git", "ls-files", "--others", "--exclude-standard"],
+    ):
+        try:
+            result = subprocess.run(
+                command, capture_output=True, text=True, check=True
+            )
+        except (OSError, subprocess.CalledProcessError):
+            return None
+        changed.update(
+            str(Path(line).resolve())
+            for line in result.stdout.splitlines()
+            if line.strip()
+        )
+    return frozenset(changed)
 
 
 def _render_text(
@@ -123,6 +227,7 @@ def _render_json(
     findings: list[tuple[Path, Finding]],
     roots: list[Path],
     rules: list[Rule],
+    project_rules: list[ProjectRule],
     suppressed_by_baseline: int,
     elapsed: float,
 ) -> None:
@@ -130,6 +235,7 @@ def _render_json(
         "version": _JSON_SCHEMA_VERSION,
         "roots": [root.as_posix() for root in roots],
         "rules": [rule.rule_id for rule in rules],
+        "project_rules": [rule.rule_id for rule in project_rules],
         "count": len(findings),
         "baselined": suppressed_by_baseline,
         "elapsed_s": round(elapsed, 3),
@@ -147,17 +253,38 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     if args.list_rules:
-        for rule_class in ALL_RULES:
+        for rule_class in (*ALL_RULES, *ALL_PROJECT_RULES):
             print(f"{rule_class.rule_id}: {rule_class.description}")
         return 0
 
-    rules = _select_rules(args.rules, parser)
+    file_rules, project_rules = _select_rules(args.rules, parser)
     roots = list(args.roots) or _default_roots()
     if not roots:
         parser.error("no roots given and ./src/repro does not exist")
     for root in roots:
         if not root.is_dir():
             parser.error(f"root {root} is not a directory")
+    reference_roots = _reference_roots(args)
+
+    if args.graph:
+        graphs = {
+            root.as_posix(): build_project_graph(
+                root, reference_roots=reference_roots
+            ).to_dict()
+            for root in roots
+        }
+        print(json.dumps(graphs, indent=2, sort_keys=True))
+        return 0
+
+    only: frozenset[str] | None = None
+    if args.changed_only:
+        only = _changed_files(args.base_ref)
+        if only is None:
+            parser.error(
+                f"--changed-only requires git and a resolvable ref "
+                f"(got {args.base_ref!r})"
+            )
+        project_rules = []
 
     baseline: frozenset[str] = frozenset()
     baseline_path = args.baseline
@@ -174,7 +301,10 @@ def main(argv: Sequence[str] | None = None) -> int:
     collected: list[tuple[Path, Finding]] = []
     raw_count = 0
     for root in roots:
-        raw = run_analysis(root, rules)
+        raw = run_analysis(root, file_rules, only=only)
+        if project_rules:
+            graph = build_project_graph(root, reference_roots=reference_roots)
+            raw = sorted([*raw, *run_project_rules(graph, project_rules)])
         raw_count += len(raw)
         collected.extend(
             (root, finding)
@@ -193,7 +323,14 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 0
 
     if args.format == "json":
-        _render_json(collected, roots, rules, suppressed_by_baseline, elapsed)
+        _render_json(
+            collected,
+            roots,
+            file_rules,
+            project_rules,
+            suppressed_by_baseline,
+            elapsed,
+        )
     else:
         _render_text(collected, suppressed_by_baseline)
     return 1 if collected else 0

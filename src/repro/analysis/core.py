@@ -7,9 +7,11 @@ The pieces every rule builds on:
 * :class:`ParsedFile` — a source file with its ``ast`` tree and the
   line-indexed ``# lint: disable=<rule>`` suppressions, parsed **once**
   and shared by every rule (the parse cache also persists across
-  :func:`run_analysis` calls in the same process, keyed by mtime, so
-  the pytest guard and a subsequent CLI run never re-parse a file that
-  has not changed);
+  :func:`run_analysis` calls in the same process, keyed by
+  ``(mtime_ns, size)`` so even a rewrite inside one mtime tick on a
+  coarse-granularity filesystem is detected when the length changes,
+  and the pytest guard and a subsequent CLI run never re-parse a file
+  that has not changed);
 * :class:`Rule` / :class:`AstRule` — the plugin protocol and the
   convenience base class rules derive from;
 * :func:`run_analysis` / :func:`analyze_source` — run a rule suite
@@ -19,13 +21,16 @@ The pieces every rule builds on:
 A file that fails to parse is itself reported as a finding under the
 reserved rule id ``parse-error`` rather than aborting the run.
 
-Suppression comments apply to the physical line a finding is reported
-on::
+Suppression comments apply to the whole *statement* containing the
+comment's line: a disable anywhere on a multi-line call covers every
+physical line of that statement (``lineno..end_lineno``), so findings
+reported on the opening line are silenced by a comment on a wrapped
+argument line and vice versa::
 
     self.start_unix = time.time()  # lint: disable=no-wallclock-timing
 
 A bare ``# lint: disable`` (no ``=rule``) suppresses every rule on
-that line; use sparingly.
+that statement; use sparingly.
 """
 
 from __future__ import annotations
@@ -158,6 +163,45 @@ def _scan_suppressions(text: str) -> dict[int, frozenset[str]]:
     return suppressions
 
 
+def _expand_suppressions_to_statements(
+    tree: ast.Module, suppressions: dict[int, frozenset[str]]
+) -> dict[int, frozenset[str]]:
+    """Widen each suppression to its whole statement's line range.
+
+    A ``# lint: disable`` on any physical line of a multi-line
+    statement must cover findings reported on *every* line of that
+    statement (rules usually report on the statement's first line,
+    while the comment often sits on a wrapped argument line).  For each
+    suppression we find the smallest enclosing ``ast.stmt`` span and
+    apply the suppressed rules to its full ``lineno..end_lineno``
+    range; a comment outside any statement keeps exact-line scope.
+    """
+    if not suppressions:
+        return suppressions
+    spans = [
+        (node.lineno, node.end_lineno or node.lineno)
+        for node in ast.walk(tree)
+        if isinstance(node, ast.stmt)
+    ]
+    expanded: dict[int, frozenset[str]] = {}
+
+    def add(line: int, rules: frozenset[str]) -> None:
+        existing = expanded.get(line)
+        expanded[line] = rules if existing is None else existing | rules
+
+    for line, rules in suppressions.items():
+        add(line, rules)
+        enclosing = [
+            (start, end) for start, end in spans if start <= line <= end
+        ]
+        if not enclosing:
+            continue
+        start, end = min(enclosing, key=lambda span: span[1] - span[0])
+        for covered in range(start, end + 1):
+            add(covered, rules)
+    return expanded
+
+
 def parse_source(
     text: str, relative: str = "<memory>.py", path: PathLike | None = None
 ) -> ParsedFile:
@@ -168,7 +212,9 @@ def parse_source(
         relative=relative,
         text=text,
         tree=tree,
-        suppressions=_scan_suppressions(text),
+        suppressions=_expand_suppressions_to_statements(
+            tree, _scan_suppressions(text)
+        ),
     )
 
 
@@ -235,6 +281,7 @@ def run_analysis(
     root: PathLike,
     rules: Sequence[Rule],
     baseline: frozenset[str] | None = None,
+    only: frozenset[str] | None = None,
 ) -> list[Finding]:
     """Run ``rules`` over every Python file under ``root``.
 
@@ -247,12 +294,18 @@ def run_analysis(
     baseline:
         Optional set of :func:`repro.analysis.baseline.baseline_key`
         strings; matching findings are filtered out (grandfathered).
+    only:
+        Optional set of resolved absolute path strings; when given,
+        files outside the set are skipped entirely (the CLI's
+        ``--changed-only`` restriction).
 
     Returns the surviving findings sorted by path, line, rule.
     """
     root = Path(root)
     findings: list[Finding] = []
     for path in iter_python_files(root):
+        if only is not None and str(path.resolve()) not in only:
+            continue
         relative = path.relative_to(root).as_posix()
         try:
             parsed = _parse_path(path, relative)

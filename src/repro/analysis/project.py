@@ -1,0 +1,561 @@
+"""Pass 2 of the analysis engine: the whole-project graph.
+
+The per-file rules (:class:`repro.analysis.core.Rule`) see one
+:class:`~repro.analysis.core.ParsedFile` at a time, which is exactly
+wrong for the invariants this repository grew after PR 4: hogwild
+write discipline spans ``parallel/`` and the worker entry point in
+``core/inf2vec.py``, the telemetry contract spans every instrument
+site plus ``obs/catalog.py`` plus the regress-gate policies, and a
+dead ``__all__`` export is *defined* by what every other module (and
+the test tree) does not import.  This module builds the shared
+project-wide view those rules need:
+
+* :class:`ModuleInfo` — one module: its dotted name, parsed AST,
+  ``__all__`` exports, top-level definitions, every import edge (also
+  the lazy function-level ones), and the module-alias attribute
+  accesses it performs;
+* :class:`ProjectGraph` — the symbol table over all modules, with
+  re-export origin resolution (``repro.core`` re-exporting
+  ``Inf2vecModel`` from ``repro.core.inf2vec`` aliases the same
+  symbol) and usage queries; *reference* trees (tests, benchmarks,
+  examples, scripts) contribute usage edges but are never checked;
+* :class:`ProjectRule` — the pass-2 plugin protocol:
+  ``check_project(graph)`` instead of ``check(parsed)``;
+* :func:`build_project_graph` / :func:`build_project_graph_from_sources`
+  — construct the graph from a directory tree (through the shared
+  mtime/size-keyed parse cache) or from in-memory fixture sources;
+* :func:`run_project_rules` — apply project rules with the same
+  suppression-comment semantics as the per-file runner.
+
+Graph construction is pass 1 (symbol table + import graph over the
+already-cached :class:`ParsedFile`\\ s); the rules are pass 2 and see
+resolved symbols instead of string matches.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import (
+    TYPE_CHECKING,
+    Iterable,
+    Iterator,
+    Mapping,
+    Protocol,
+    Sequence,
+    runtime_checkable,
+)
+
+from repro.analysis.core import (
+    Finding,
+    ParsedFile,
+    PathLike,
+    Rule,
+    _parse_path,
+    iter_python_files,
+    parse_source,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.analysis.rules.common import ImportMap
+
+
+@dataclass(frozen=True)
+class ImportEdge:
+    """One imported binding: ``from module import name`` or ``import module``.
+
+    ``name`` is ``None`` for plain ``import module``; ``bound`` is the
+    local alias the import creates.  Edges are collected from the whole
+    tree, so lazy function-level imports (cycle guards) appear too.
+    """
+
+    module: str
+    name: str | None
+    bound: str
+    lineno: int
+
+
+def _module_name_for(relative: str, package: str | None) -> str:
+    """Dotted module name of a root-relative POSIX path."""
+    parts = relative.split("/")
+    if parts[-1] == "__init__.py":
+        parts = parts[:-1]
+    else:
+        parts[-1] = parts[-1][: -len(".py")]
+    if package:
+        parts = [package, *parts]
+    return ".".join(parts) if parts else (package or "")
+
+
+def _literal_exports(tree: ast.Module) -> tuple[str, ...] | None:
+    """``__all__`` as a tuple of strings, or ``None`` if absent/non-literal."""
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id == "__all__":
+                    value = node.value
+                    if isinstance(value, (ast.List, ast.Tuple)) and all(
+                        isinstance(e, ast.Constant) and isinstance(e.value, str)
+                        for e in value.elts
+                    ):
+                        return tuple(e.value for e in value.elts)
+                    return None
+    return None
+
+
+@dataclass
+class ModuleInfo:
+    """One module of the project, with its resolved symbol information."""
+
+    name: str  #: Dotted module name (``repro.core.inf2vec``).
+    parsed: ParsedFile
+    is_package: bool  #: Whether the file is a package ``__init__.py``.
+    checked: bool  #: Rules emit findings here (False = reference-only).
+    exports: tuple[str, ...] | None = None  #: Literal ``__all__``, if any.
+    top_level_defs: frozenset[str] = frozenset()
+    imports: tuple[ImportEdge, ...] = ()
+    import_map: "ImportMap" = field(default=None, repr=False)  # type: ignore[assignment]
+    #: ``(module, attr)`` pairs read as attributes of a module alias
+    #: (``shared.SharedEmbedding`` after ``from repro.parallel import
+    #: shared``), resolved against the project's module set.
+    attribute_uses: frozenset[tuple[str, str]] = frozenset()
+
+    def imports_symbol(self, canonical: str) -> bool:
+        """Whether any local alias resolves to the canonical dotted path."""
+        return any(
+            resolved == canonical or resolved.startswith(canonical + ".")
+            for resolved in self.import_map.aliases.values()
+        ) or any(
+            f"{edge.module}.{edge.name}" == canonical
+            for edge in self.imports
+            if edge.name is not None
+        )
+
+
+def _collect_imports(
+    tree: ast.Module, package_parts: Sequence[str]
+) -> tuple[ImportEdge, ...]:
+    """Every import edge in the tree, with relative imports resolved."""
+    edges: list[ImportEdge] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                edges.append(
+                    ImportEdge(
+                        module=alias.name,
+                        name=None,
+                        bound=alias.asname or alias.name.split(".")[0],
+                        lineno=node.lineno,
+                    )
+                )
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:
+                base = list(package_parts)
+                drop = node.level - 1
+                if drop:
+                    base = base[:-drop] if drop <= len(base) else []
+                module = ".".join(
+                    [*base, node.module] if node.module else base
+                )
+            else:
+                module = node.module or ""
+            if not module:
+                continue
+            for alias in node.names:
+                edges.append(
+                    ImportEdge(
+                        module=module,
+                        name=alias.name,
+                        bound=alias.asname or alias.name,
+                        lineno=node.lineno,
+                    )
+                )
+    return tuple(edges)
+
+
+def _collect_attribute_uses(
+    tree: ast.Module, edges: Sequence[ImportEdge], module_names: frozenset[str]
+) -> frozenset[tuple[str, str]]:
+    """Resolve ``alias.attr`` chains whose alias names a project module.
+
+    For a chain like ``repro.analysis.baseline.baseline_key`` the
+    *deepest* prefix that is a known module wins, recording
+    ``("repro.analysis.baseline", "baseline_key")``.
+    """
+    aliases: dict[str, str] = {}
+    for edge in edges:
+        if edge.name is None:
+            # ``import pkg.util`` binds only ``pkg``; the dotted tail is
+            # reached through attribute access, which the chain walk
+            # below resolves segment by segment.  An ``as`` alias binds
+            # the full dotted module instead.
+            head = edge.module.split(".")[0]
+            aliases[edge.bound] = head if edge.bound == head else edge.module
+        else:
+            aliases[edge.bound] = f"{edge.module}.{edge.name}"
+    uses: set[tuple[str, str]] = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Attribute):
+            continue
+        chain: list[str] = []
+        current: ast.expr = node
+        while isinstance(current, ast.Attribute):
+            chain.append(current.attr)
+            current = current.value
+        if not isinstance(current, ast.Name):
+            continue
+        chain.append(current.id)
+        chain.reverse()
+        head = aliases.get(chain[0])
+        if head is None:
+            continue
+        parts = [*head.split("."), *chain[1:]]
+        for depth in range(len(parts) - 1, 0, -1):
+            prefix = ".".join(parts[:depth])
+            if prefix in module_names:
+                uses.add((prefix, parts[depth]))
+                break
+    return frozenset(uses)
+
+
+def _top_level_def_names(tree: ast.Module) -> frozenset[str]:
+    names: set[str] = set()
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            names.add(node.name)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                for name_node in ast.walk(target):
+                    if isinstance(name_node, ast.Name):
+                        names.add(name_node.id)
+        elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            names.add(node.target.id)
+    return frozenset(names)
+
+
+class ProjectGraph:
+    """The whole-project symbol table and import graph (pass 1 output).
+
+    ``modules`` maps dotted names to *checked* modules (rules may emit
+    findings there); ``references`` holds reference-only trees — their
+    imports and attribute accesses count as usage, but they are never
+    the subject of a finding.
+    """
+
+    def __init__(
+        self,
+        modules: dict[str, ModuleInfo],
+        references: dict[str, ModuleInfo],
+        package: str | None = None,
+    ):
+        self.modules = modules
+        self.references = references
+        self.package = package
+        self._module_names = frozenset(modules)
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    def module(self, name: str) -> ModuleInfo | None:
+        """The checked module registered under ``name`` (or ``None``)."""
+        return self.modules.get(name)
+
+    def all_modules(self) -> Iterator[ModuleInfo]:
+        """Checked modules first, then reference modules."""
+        yield from self.modules.values()
+        yield from self.references.values()
+
+    def checked_modules(self) -> Iterator[ModuleInfo]:
+        """Modules rules may report findings in, in sorted name order."""
+        for name in sorted(self.modules):
+            yield self.modules[name]
+
+    def modules_importing(self, canonical: str) -> list[ModuleInfo]:
+        """Checked modules with any alias resolving to ``canonical``."""
+        return [
+            info
+            for info in self.checked_modules()
+            if info.imports_symbol(canonical)
+        ]
+
+    def find_defining_module(self, top_level_name: str) -> ModuleInfo | None:
+        """The unique checked module binding ``top_level_name`` at top level.
+
+        Returns ``None`` when zero or several modules bind the name —
+        callers that need an anchor symbol (a catalog constant, a
+        policy table) treat ambiguity as absence.
+        """
+        owners = [
+            info
+            for info in self.modules.values()
+            if top_level_name in info.top_level_defs
+        ]
+        return owners[0] if len(owners) == 1 else None
+
+    # ------------------------------------------------------------------
+    # Re-export origins and usage
+    # ------------------------------------------------------------------
+
+    def export_origin(self, module: str, name: str) -> tuple[str, str]:
+        """Follow re-export ``from``-import chains to the defining module.
+
+        ``repro.core`` binding ``Inf2vecModel`` via ``from
+        repro.core.inf2vec import Inf2vecModel`` resolves to
+        ``("repro.core.inf2vec", "Inf2vecModel")``; a binding that is a
+        submodule object resolves to ``(submodule, "")``.  Chains stop
+        at modules outside the graph.
+        """
+        seen: set[tuple[str, str]] = set()
+        while (module, name) not in seen:
+            seen.add((module, name))
+            info = self.modules.get(module)
+            if info is None:
+                break
+            hop = next(
+                (
+                    edge
+                    for edge in info.imports
+                    if edge.name is not None and edge.bound == name
+                ),
+                None,
+            )
+            if hop is None:
+                break
+            submodule = f"{hop.module}.{hop.name}"
+            if submodule in self.modules:
+                return (submodule, "")
+            module, name = hop.module, hop.name
+        return (module, name)
+
+    def used_origins(self) -> frozenset[tuple[str, str]]:
+        """Every symbol origin genuinely consumed somewhere in the project.
+
+        A ``from``-import counts unless it is a re-export (the importer
+        lists the bound name in its own ``__all__``); module-alias
+        attribute accesses always count; reference modules (tests,
+        benchmarks, ...) always count.  Origins are resolved through
+        re-export chains, so importing ``repro.Inf2vecModel`` marks the
+        ``repro.core.inf2vec`` definition as used.
+        """
+        used: set[tuple[str, str]] = set()
+        for info in self.all_modules():
+            reexports = frozenset(info.exports or ()) if info.checked else frozenset()
+            for edge in info.imports:
+                if edge.name is None or edge.module not in self.modules:
+                    continue
+                if edge.bound in reexports:
+                    continue
+                used.add(self.export_origin(edge.module, edge.name))
+            for module, attr in info.attribute_uses:
+                used.add(self.export_origin(module, attr))
+        return frozenset(used)
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-ready dump of the graph (the CLI's ``--graph`` output)."""
+
+        def render(info: ModuleInfo) -> dict[str, object]:
+            return {
+                "path": info.parsed.relative,
+                "package": info.is_package,
+                "exports": list(info.exports) if info.exports is not None else None,
+                "defs": sorted(info.top_level_defs),
+                "imports": [
+                    {
+                        "module": edge.module,
+                        "name": edge.name,
+                        "bound": edge.bound,
+                        "line": edge.lineno,
+                    }
+                    for edge in info.imports
+                ],
+            }
+
+        return {
+            "package": self.package,
+            "modules": {
+                name: render(info) for name, info in sorted(self.modules.items())
+            },
+            "references": sorted(self.references),
+        }
+
+
+@runtime_checkable
+class ProjectRule(Protocol):
+    """The pass-2 plugin protocol: one cross-file invariant check.
+
+    Like :class:`~repro.analysis.core.Rule` but over the whole
+    :class:`ProjectGraph`; suppression comments and the baseline are
+    still applied by the runner.
+    """
+
+    rule_id: str
+    description: str
+
+    def check_project(self, graph: ProjectGraph) -> Iterable[Finding]:
+        """Yield every violation of this rule across the project."""
+        ...
+
+
+class ProjectAstRule:
+    """Convenience base for project rules: shared ``finding`` constructor."""
+
+    rule_id = "abstract-project"
+    description = "abstract project rule"
+
+    def finding(
+        self, info: ModuleInfo, node: ast.AST | None, message: str
+    ) -> Finding:
+        """Build a :class:`Finding` in ``info`` located at ``node``."""
+        return Finding(
+            path=info.parsed.relative,
+            line=getattr(node, "lineno", 1) if node is not None else 1,
+            rule_id=self.rule_id,
+            message=message,
+        )
+
+    def check_project(self, graph: ProjectGraph) -> Iterable[Finding]:
+        """Subclasses must override."""
+        raise NotImplementedError
+
+
+def is_project_rule(rule: object) -> bool:
+    """Whether ``rule`` implements the pass-2 protocol."""
+    return callable(getattr(rule, "check_project", None))
+
+
+def _build_module(
+    parsed: ParsedFile,
+    name: str,
+    checked: bool,
+    module_names: frozenset[str] | None = None,
+) -> ModuleInfo:
+    # Imported lazily: rules.common lives under the rules package, whose
+    # __init__ imports the project rules, which import this module.
+    from repro.analysis.rules.common import ImportMap
+
+    is_package = parsed.relative.endswith("__init__.py")
+    package_parts = name.split(".") if is_package else name.split(".")[:-1]
+    edges = _collect_imports(parsed.tree, package_parts)
+    return ModuleInfo(
+        name=name,
+        parsed=parsed,
+        is_package=is_package,
+        checked=checked,
+        exports=_literal_exports(parsed.tree),
+        top_level_defs=_top_level_def_names(parsed.tree),
+        imports=edges,
+        import_map=ImportMap(parsed.tree),
+        attribute_uses=frozenset(),
+    )
+
+
+def _finalize_attribute_uses(
+    modules: dict[str, ModuleInfo], references: dict[str, ModuleInfo]
+) -> None:
+    names = frozenset(modules)
+    for info in (*modules.values(), *references.values()):
+        info.attribute_uses = _collect_attribute_uses(
+            info.parsed.tree, info.imports, names
+        )
+
+
+def build_project_graph(
+    root: PathLike,
+    reference_roots: Sequence[PathLike] = (),
+) -> ProjectGraph:
+    """Build the graph for every parseable Python file under ``root``.
+
+    When ``root`` itself is a package (contains ``__init__.py``) its
+    directory name becomes the top-level package prefix, so scanning
+    ``src/repro`` yields module names ``repro``, ``repro.core...``.
+    Files under ``reference_roots`` join the graph as reference-only
+    modules.  Unparseable files are skipped here — the per-file pass
+    already reports them as ``parse-error`` findings.
+    """
+    root = Path(root)
+    package = root.name if (root / "__init__.py").is_file() else None
+    modules: dict[str, ModuleInfo] = {}
+    for path in iter_python_files(root):
+        relative = path.relative_to(root).as_posix()
+        try:
+            parsed = _parse_path(path, relative)
+        except SyntaxError:
+            continue
+        name = _module_name_for(relative, package)
+        modules[name] = _build_module(parsed, name, checked=True)
+    references: dict[str, ModuleInfo] = {}
+    for reference_root in reference_roots:
+        reference_root = Path(reference_root)
+        if not reference_root.is_dir():
+            continue
+        for path in iter_python_files(reference_root):
+            relative = path.relative_to(reference_root).as_posix()
+            pseudo = f"{reference_root.name}/{relative}"
+            try:
+                parsed = _parse_path(path, pseudo)
+            except SyntaxError:
+                continue
+            references[pseudo] = _build_module(parsed, pseudo, checked=False)
+    _finalize_attribute_uses(modules, references)
+    return ProjectGraph(modules, references, package=package)
+
+
+def build_project_graph_from_sources(
+    sources: Mapping[str, str],
+    reference_sources: Mapping[str, str] | None = None,
+) -> ProjectGraph:
+    """Fixture entry: build a graph from ``{relative path: source}``.
+
+    Paths use POSIX separators and determine module names exactly like
+    :func:`build_project_graph` with no package prefix — ``"pkg/a.py"``
+    becomes module ``pkg.a``.  Syntax errors raise (fixtures should be
+    valid).
+    """
+    modules: dict[str, ModuleInfo] = {}
+    for relative, text in sources.items():
+        parsed = parse_source(text, relative)
+        name = _module_name_for(relative, package=None)
+        modules[name] = _build_module(parsed, name, checked=True)
+    references: dict[str, ModuleInfo] = {}
+    for relative, text in (reference_sources or {}).items():
+        parsed = parse_source(text, relative)
+        references[relative] = _build_module(parsed, relative, checked=False)
+    _finalize_attribute_uses(modules, references)
+    return ProjectGraph(modules, references, package=None)
+
+
+def run_project_rules(
+    graph: ProjectGraph, rules: Sequence[ProjectRule]
+) -> list[Finding]:
+    """Apply project rules to ``graph`` with suppression filtering.
+
+    Returns the surviving findings sorted by path, line, rule — the
+    same contract as :func:`repro.analysis.core.run_analysis`.
+    """
+    by_path = {info.parsed.relative: info.parsed for info in graph.all_modules()}
+    findings: list[Finding] = []
+    for rule in rules:
+        for finding in rule.check_project(graph):
+            parsed = by_path.get(finding.path)
+            if parsed is not None and parsed.is_suppressed(
+                finding.rule_id, finding.line
+            ):
+                continue
+            findings.append(finding)
+    return sorted(findings)
+
+
+def analyze_project(
+    sources: Mapping[str, str],
+    rules: Sequence[ProjectRule],
+    reference_sources: Mapping[str, str] | None = None,
+) -> list[Finding]:
+    """Run project ``rules`` over in-memory fixture ``sources``."""
+    graph = build_project_graph_from_sources(sources, reference_sources)
+    return run_project_rules(graph, rules)

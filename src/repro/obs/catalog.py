@@ -1,0 +1,185 @@
+"""The telemetry catalog: every metric and span name, declared once.
+
+The observability pipeline has three places a name can live: the
+instrument site (``metrics.counter("serve.queries", ...)``), the
+Prometheus exposition / JSONL trace it flows into, and the fnmatch
+patterns the regress gate (:mod:`repro.obs.regress`) budgets against
+``benchmarks/baselines/``.  A typo in any one of them fails *silently*
+— the counter simply never matches the gate, or the gate guards a leaf
+no benchmark writes.  This module is the single source of truth the
+``telemetry-contract`` project rule checks both ends against:
+
+* :data:`METRIC_CATALOG` — every instrument and span name used in
+  ``src/`` or ``benchmarks/``, with its kind and allowed label set.
+  Names containing ``*`` are families covering f-string sites whose
+  interpolated segment is open-ended (``diffusion.{model}.rounds``).
+* :data:`GATED_BENCH_LEAVES` — per report file, the flattened numeric
+  leaves of the checked-in baselines that regress policies are allowed
+  to reference; every ``MetricPolicy`` pattern must match at least one.
+
+Both tables are **pure literals** so the static-analysis rule can read
+them without importing the module; the declarations are also validated
+at import time (:func:`validate_catalog`) and round-tripped against
+the real baselines by ``tests/obs/test_catalog.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fnmatch import fnmatchcase
+from typing import Sequence
+
+__all__ = [
+    "GATED_BENCH_LEAVES",
+    "METRIC_CATALOG",
+    "MetricSpec",
+    "catalog_names",
+    "find_spec",
+    "validate_catalog",
+]
+
+
+@dataclass(frozen=True)
+class MetricSpec:
+    """One declared telemetry name: kind, allowed labels, description."""
+
+    name: str  #: Literal name or ``fnmatch`` family (``diffusion.*.rounds``).
+    kind: str  #: ``counter`` | ``gauge`` | ``histogram`` | ``summary`` | ``span``.
+    labels: tuple[str, ...] = ()  #: Allowed label / span-attribute keys.
+    description: str = ""
+
+    def matches(self, name: str) -> bool:
+        """Whether ``name`` is this spec (exact or family match)."""
+        return self.name == name or fnmatchcase(name, self.name)
+
+
+#: Every telemetry name the project emits.  Kept sorted by kind, then
+#: name, so drift shows up as a one-line diff.
+METRIC_CATALOG: tuple[MetricSpec, ...] = (
+    # -- counters ------------------------------------------------------
+    MetricSpec("ckpt.bytes_written", "counter", (), "total checkpoint bytes written"),
+    MetricSpec("ckpt.pruned", "counter", (), "checkpoints removed by retention"),
+    MetricSpec("ckpt.resumes", "counter", (), "training runs resumed from a checkpoint"),
+    MetricSpec("ckpt.saves", "counter", (), "checkpoints written"),
+    MetricSpec("contexts.cache.hits", "counter", (), "episode-network cache hits"),
+    MetricSpec("contexts.cache.misses", "counter", (), "episode-network cache rebuilds"),
+    MetricSpec("contexts.episodes", "counter", (), "episodes processed"),
+    MetricSpec("contexts.tuples", "counter", (), "(u, C_u^i) tuples generated"),
+    MetricSpec("contexts.walk.dead_ends", "counter", (), "forced restarts at successor-less nodes"),
+    MetricSpec("contexts.walk.restarts", "counter", (), "probabilistic jumps back to the start"),
+    MetricSpec("contexts.walk.steps", "counter", (), "recorded walk steps"),
+    MetricSpec("diffusion.*.simulations", "counter", (), "cascade simulations run, per model"),
+    MetricSpec("negatives.collisions", "counter", (), "negatives initially colliding with excluded users"),
+    MetricSpec("negatives.resample_rounds", "counter", (), "rejection-resample iterations"),
+    MetricSpec("serve.queries", "counter", ("direction", "path"), "top-k influence queries served"),
+    MetricSpec("serve.query.errors", "counter", ("direction", "error"), "failed top-k influence queries"),
+    MetricSpec("sketch.lazy_evaluations", "counter", (), "CELF re-evaluations during max-coverage selection"),
+    MetricSpec("sketch.rr_nodes", "counter", (), "total nodes across sampled RR sets"),
+    MetricSpec("sketch.rr_sets", "counter", (), "reverse-reachable sets sampled"),
+    MetricSpec("sketch.selections", "counter", (), "max-coverage seed selections run"),
+    MetricSpec("train.clip.rows", "counter", (), "embedding rows rescaled by max_norm"),
+    MetricSpec("train.epochs", "counter", (), "completed training epochs"),
+    MetricSpec("train.worker.examples", "counter", ("worker",), "positive observations trained, per worker"),
+    # -- gauges --------------------------------------------------------
+    MetricSpec("train.epoch.examples_per_sec", "gauge", ("epoch",), "positive observations per second"),
+    MetricSpec("train.epoch.learning_rate", "gauge", ("epoch",), "annealed SGD step"),
+    MetricSpec("train.epoch.loss", "gauge", ("epoch",), "mean per-positive loss"),
+    MetricSpec("train.worker.contexts", "gauge", ("worker",), "contexts materialised per worker shard (0 = streaming)"),
+    MetricSpec("train.worker.epoch_seconds", "gauge", ("worker", "epoch"), "in-worker wall-clock per epoch"),
+    MetricSpec("train.worker.loss", "gauge", ("worker", "epoch"), "mean per-positive loss of the worker's shard"),
+    # -- histograms ----------------------------------------------------
+    MetricSpec("bench.workload.seconds", "histogram", ("workload",), "per-operation benchmark latency"),
+    MetricSpec("ckpt.write_seconds", "histogram", (), "atomic checkpoint write latency"),
+    MetricSpec("contexts.length", "histogram", (), "full context sizes (local + global)"),
+    MetricSpec("contexts.walk_length", "histogram", (), "local random-walk context sizes"),
+    MetricSpec("diffusion.*.rounds", "histogram", (), "rounds until quiescence, per model"),
+    MetricSpec("diffusion.*.spread", "histogram", (), "activated-set sizes, per model"),
+    MetricSpec("serve.query.seconds", "histogram", ("direction", "path"), "per-query latency"),
+    MetricSpec("sketch.rr_size", "histogram", (), "RR-set sizes"),
+    # -- summaries -----------------------------------------------------
+    MetricSpec("bench.workload.latency", "summary", ("workload",), "per-operation benchmark latency quantiles (seconds)"),
+    MetricSpec("serve.query.latency", "summary", ("direction", "path"), "live per-query latency quantiles (seconds)"),
+    # -- spans ---------------------------------------------------------
+    MetricSpec("bench.mc_greedy", "span", ("preset",), "benchmark: Monte-Carlo greedy selection"),
+    MetricSpec("bench.ris", "span", ("preset",), "benchmark: RIS selection"),
+    MetricSpec("bench.ris_pruned", "span", ("preset",), "benchmark: embedding-pruned RIS selection"),
+    MetricSpec("bench.train_embedding", "span", ("preset",), "benchmark: embedding training for pruning"),
+    MetricSpec("contexts", "span", ("num_contexts",), "context-corpus generation"),
+    MetricSpec("epoch", "span", ("epoch", "loss", "examples", "examples_per_sec", "workers"), "one training epoch"),
+    MetricSpec("experiment.*", "span", ("scale",), "one named experiment run (CLI)"),
+    MetricSpec("fig9.contexts", "span", ("dim", "seconds"), "fig9: context generation stage"),
+    MetricSpec("fig9.emb_ic_iteration", "span", ("dim", "seconds"), "fig9: Emb-IC training iteration"),
+    MetricSpec("fig9.iteration", "span", ("dim", "seconds"), "fig9: Inf2vec training iteration"),
+    MetricSpec("fit", "span", ("engine",), "full training run"),
+    MetricSpec("hogwild.fit", "span", ("engine", "workers"), "hogwild parallel training run"),
+    MetricSpec("partial_fit", "span", ("engine",), "incremental training run"),
+    MetricSpec("serve.batch.*", "span", ("num_queries", "k", "path"), "batched top-k query, per direction"),
+    MetricSpec("serve.precompute.*", "span", ("k",), "top-k index precompute, per direction"),
+    MetricSpec("serve.query", "span", ("direction", "user", "k", "path", "latency_s"), "sampled single top-k query trace"),
+    MetricSpec("sgd", "span", (), "SGD pass over the context corpus"),
+    MetricSpec("sketch.generate", "span", ("count",), "batched RR-set generation"),
+    MetricSpec("sketch.schedule", "span", ("num_seeds", "epsilon", "lower_bound", "num_sketches", "capped"), "IMM two-phase sampling schedule"),
+    MetricSpec("sketch.select", "span", ("num_seeds", "num_sketches"), "CELF max-coverage seed selection"),
+    MetricSpec("train_epoch", "span", ("engine", "repeat"), "benchmark: one timed training epoch"),
+)
+
+#: Flattened numeric leaves of the checked-in ``benchmarks/baselines/``
+#: reports that regress policies may gate.  Names containing ``*`` are
+#: families (one per workload / preset / worker count).  Every
+#: ``MetricPolicy`` pattern in :data:`repro.obs.regress.DEFAULT_POLICIES`
+#: must fnmatch at least one entry here, and every entry must resolve
+#: against the checked-in baseline file (tests/obs/test_catalog.py).
+GATED_BENCH_LEAVES: dict[str, tuple[str, ...]] = {
+    "BENCH_serving.json": (
+        "workloads.*.p50_ms",
+        "workloads.*.p99_ms",
+        "workloads.*.qps",
+    ),
+    "BENCH_training.json": (
+        "context_generation.batched_seconds",
+        "context_generation.speedup",
+        "train_epoch.batched_seconds",
+        "train_epoch.speedup",
+        "parallel.workers.*.examples_per_sec",
+    ),
+    "BENCH_influence_max.json": (
+        "presets.*.methods.*.selection_seconds",
+        "presets.*.methods.*.spread",
+        "presets.*.speedup_ris_vs_mc",
+    ),
+}
+
+
+def catalog_names(kind: str | None = None) -> tuple[str, ...]:
+    """Declared names (optionally restricted to one instrument kind)."""
+    return tuple(
+        spec.name
+        for spec in METRIC_CATALOG
+        if kind is None or spec.kind == kind
+    )
+
+
+def find_spec(name: str, kind: str | None = None) -> MetricSpec | None:
+    """The spec covering ``name`` (exact wins over family), or ``None``."""
+    family: MetricSpec | None = None
+    for spec in METRIC_CATALOG:
+        if kind is not None and spec.kind != kind:
+            continue
+        if spec.name == name:
+            return spec
+        if family is None and spec.matches(name):
+            family = spec
+    return family
+
+
+def validate_catalog(catalog: Sequence[MetricSpec] | None = None) -> None:
+    """Raise ``ValueError`` on duplicate (name, kind) declarations."""
+    seen: set[tuple[str, str]] = set()
+    for spec in METRIC_CATALOG if catalog is None else catalog:
+        key = (spec.name, spec.kind)
+        if key in seen:
+            raise ValueError(f"duplicate catalog entry: {spec.name} ({spec.kind})")
+        seen.add(key)
+
+
+validate_catalog()

@@ -119,7 +119,9 @@ class TopKIndex:
         indices = np.empty((num_users, min(k, num_users)), dtype=np.int64)
         scores = np.empty_like(indices, dtype=np.float64)
         for start in range(0, num_users, batch_size):
-            users = np.arange(start, min(start + batch_size, num_users))
+            users = np.arange(
+                start, min(start + batch_size, num_users), dtype=np.int64
+            )
             result = query(users, min(k, num_users))
             indices[start : start + users.shape[0]] = result.indices
             scores[start : start + users.shape[0]] = result.scores

@@ -1,10 +1,11 @@
 """CLI contract: exit codes, text/JSON output schema, baseline flags."""
 
 import json
+import subprocess
 
 import pytest
 
-from repro.analysis import ALL_RULES, load_baseline
+from repro.analysis import ALL_PROJECT_RULES, ALL_RULES, load_baseline
 from repro.analysis.cli import main
 
 CLEAN = "x = 1\n"
@@ -55,7 +56,7 @@ class TestTextOutput:
     def test_list_rules_shows_every_id(self, capsys):
         assert run_cli("--list-rules") == 0
         out = capsys.readouterr().out
-        for rule_class in ALL_RULES:
+        for rule_class in (*ALL_RULES, *ALL_PROJECT_RULES):
             assert rule_class.rule_id in out
 
 
@@ -65,9 +66,12 @@ class TestJsonOutput:
         code = run_cli(str(tree), "--no-baseline", "--format", "json")
         assert code == 1
         payload = json.loads(capsys.readouterr().out)
-        assert payload["version"] == 1
+        assert payload["version"] == 2
         assert payload["roots"] == [tree.as_posix()]
         assert payload["rules"] == [r.rule_id for r in ALL_RULES]
+        assert payload["project_rules"] == [
+            r.rule_id for r in ALL_PROJECT_RULES
+        ]
         assert payload["count"] == 1
         assert payload["baselined"] == 0
         assert isinstance(payload["elapsed_s"], float)
@@ -96,6 +100,67 @@ class TestRuleSelection:
         payload_lines = capsys.readouterr().out.splitlines()
         assert len(payload_lines) == 1
         assert "no-print" in payload_lines[0]
+
+    def test_project_rule_id_selects_the_project_pass(self, tree, capsys):
+        # dead-export is a project rule: it needs the import graph, and
+        # selecting it alone must not run any per-file rule.
+        (tree / "impl.py").write_text(
+            VIOLATION + "__all__ = ['unused']\ndef unused():\n    return 1\n"
+        )
+        assert (
+            run_cli(str(tree), "--no-baseline", "--rules", "dead-export") == 1
+        )
+        out_lines = capsys.readouterr().out.splitlines()
+        assert len(out_lines) == 1
+        assert "dead-export" in out_lines[0] and "'unused'" in out_lines[0]
+
+
+class TestGraphDump:
+    def test_graph_flag_dumps_modules_and_exits_zero(self, tree, capsys):
+        (tree / "__init__.py").write_text("from pkg.mod import f\n")
+        (tree / "mod.py").write_text("def f():\n    return 1\n")
+        assert run_cli(str(tree), "--graph") == 0
+        payload = json.loads(capsys.readouterr().out)
+        modules = payload[tree.as_posix()]["modules"]
+        assert set(modules) == {"pkg", "pkg.mod"}
+        (edge,) = modules["pkg"]["imports"]
+        assert (edge["module"], edge["name"]) == ("pkg.mod", "f")
+
+
+class TestChangedOnly:
+    @pytest.fixture
+    def repo(self, tree):
+        def git(*argv):
+            subprocess.run(
+                ["git", *argv],
+                cwd=tree.parent,
+                check=True,
+                capture_output=True,
+            )
+
+        git("init", "-q")
+        git("config", "user.email", "t@example.com")
+        git("config", "user.name", "t")
+        (tree / "old.py").write_text(VIOLATION)
+        git("add", ".")
+        git("commit", "-qm", "seed")
+        return git
+
+    def test_only_changed_files_are_checked(self, tree, repo, capsys):
+        # old.py violates but is unchanged; the new file is clean.
+        (tree / "new.py").write_text(CLEAN)
+        assert run_cli(str(tree), "--no-baseline", "--changed-only") == 0
+        capsys.readouterr()
+
+        # A dirty violating file is reported again.
+        (tree / "new.py").write_text(VIOLATION)
+        assert run_cli(str(tree), "--no-baseline", "--changed-only") == 1
+        assert "new.py" in capsys.readouterr().out
+
+    def test_bad_base_ref_is_a_usage_error(self, tree, repo):
+        with pytest.raises(SystemExit) as excinfo:
+            run_cli(str(tree), "--changed-only", "--base-ref", "no-such-ref")
+        assert excinfo.value.code == 2
 
 
 class TestBaselineFlags:

@@ -65,6 +65,38 @@ class TestSuppressions:
         findings = analyze_source(source, default_rules())
         assert [f.line for f in findings] == [3]
 
+    def test_suppression_covers_the_whole_statement(self):
+        # The comment sits on the first line of a multi-line call; the
+        # violation node is reported on a later line of the same
+        # statement and must still be silenced.
+        source = (
+            "import numpy as np\n"
+            "x = np.mean(  # lint: disable=no-global-rng\n"
+            "    np.random.rand(\n"
+            "        3,\n"
+            "    )\n"
+            ")\n"
+        )
+        assert analyze_source(source, default_rules()) == []
+
+    def test_comment_on_inner_line_covers_the_statement_too(self):
+        source = (
+            "import numpy as np\n"
+            "x = np.mean(\n"
+            "    np.random.rand(3),  # lint: disable=no-global-rng\n"
+            ")\n"
+        )
+        assert analyze_source(source, default_rules()) == []
+
+    def test_statement_scope_does_not_leak_to_siblings(self):
+        source = (
+            "import numpy as np\n"
+            "x = np.random.rand()  # lint: disable=no-global-rng\n"
+            "y = np.random.rand()\n"
+        )
+        findings = analyze_source(source, default_rules())
+        assert [f.line for f in findings] == [3]
+
     def test_disable_comment_inside_string_is_inert(self):
         source = (
             'text = "lint: disable=no-global-rng"\n'
@@ -175,6 +207,26 @@ class TestParseCacheAndIteration:
         os.utime(target, ns=(1, 1))  # force a distinct mtime
         run_analysis(tmp_path, default_rules())
         assert _PARSE_CACHE[key][2] is not first
+
+    def test_rewrite_within_one_mtime_tick_is_detected(self, tmp_path):
+        # Coarse filesystem timestamps can leave mtime unchanged across
+        # a rewrite; the (mtime_ns, size) key must still invalidate as
+        # long as the size differs.
+        import os
+
+        target = tmp_path / "mod.py"
+        target.write_text("x = 1\n")
+        run_analysis(tmp_path, default_rules())
+        key = str(target.resolve())
+        first = _PARSE_CACHE[key][2]
+        stat = target.stat()
+
+        target.write_text("x = 1234\n")  # different size...
+        os.utime(target, ns=(stat.st_atime_ns, stat.st_mtime_ns))  # same tick
+        assert target.stat().st_mtime_ns == stat.st_mtime_ns
+        run_analysis(tmp_path, default_rules())
+        assert _PARSE_CACHE[key][2] is not first
+        assert _PARSE_CACHE[key][2].text == "x = 1234\n"
 
     def test_hidden_directories_are_skipped(self, tmp_path):
         (tmp_path / ".hidden").mkdir()

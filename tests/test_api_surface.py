@@ -92,15 +92,24 @@ def test_analysis_public_api_is_pinned():
     import repro.analysis
 
     assert set(repro.analysis.__all__) == {
+        "ALL_PROJECT_RULES",
         "ALL_RULES",
         "AstRule",
         "BASELINE_FILENAME",
         "Finding",
+        "ModuleInfo",
         "PARSE_ERROR_RULE",
         "ParsedFile",
+        "ProjectAstRule",
+        "ProjectGraph",
+        "ProjectRule",
         "Rule",
+        "analyze_project",
         "analyze_source",
         "baseline_key",
+        "build_project_graph",
+        "build_project_graph_from_sources",
+        "default_project_rules",
         "default_rules",
         "discover_baseline",
         "get_rule",

@@ -1,0 +1,310 @@
+"""Contracts of the pinned public surface: result types and constants.
+
+Every symbol exercised here is exported through a package ``__all__``
+(and kept honest by the ``dead-export`` project rule): these tests pin
+the *shape* of the public result types — field presence, invariants
+the docstrings promise — and the values of public constants other
+tools (dashboards, notebooks, downstream scripts) are entitled to rely
+on.  Behavioural depth lives in the per-subsystem suites; this file is
+the compatibility contract.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps import (
+    AuthorPrediction,
+    SeedSelection,
+    greedy_influence_maximization,
+    run_case_study,
+)
+from repro.ckpt import CKPT_WRITE_LATENCY_BUCKETS
+from repro.core import (
+    InfluencePair,
+    PairFrequencies,
+    extract_all_pairs,
+    pair_frequencies,
+)
+from repro.data.citation import CitationConfig, CitationDataset
+from repro.diffusion import (
+    LTResult,
+    PAPER_NUM_RUNS,
+    simulate_lt,
+    uniform_lt_weights,
+)
+from repro.diffusion.probabilities import EdgeProbabilities
+from repro.eval import (
+    ActivationCandidate,
+    DiffusionQuery,
+    PAPER_SEED_FRACTION,
+    PrecisionRecallCurve,
+    RocCurve,
+    TuningResult,
+    TuningTrial,
+    episode_candidates,
+    grid_search,
+    make_query,
+    precision_recall_curve,
+    roc_curve,
+)
+from repro.experiments import MEDIUM, SCALES, SMALL
+from repro.extensions import KMeansResult, kmeans
+from repro.obs import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    NullTracer,
+    Span,
+    Summary,
+    Tracer,
+)
+from repro.obs.export import MANIFEST_FILENAME, TRACE_FILENAME
+from repro.obs.metrics import DEFAULT_SUMMARY_QUANTILES
+from repro.obs.regress import (
+    DEFAULT_BASELINE_DIR,
+    Finding,
+    MetricPolicy,
+    REPORT_FILES,
+    compare_reports,
+)
+from repro.serve import INDEX_FORMAT_VERSION, TopKIndex
+from repro.sketch import (
+    MaxCoverageResult,
+    SketchSchedule,
+    adaptive_rr_pool,
+    max_coverage_seeds,
+)
+from repro.baselines import StaticModel
+
+
+@pytest.fixture
+def star_probs() -> EdgeProbabilities:
+    """Node 0 reaches {1..4} deterministically."""
+    from repro.data.graph import SocialGraph
+
+    graph = SocialGraph(6, [(0, 1), (0, 2), (0, 3), (0, 4), (5, 4)])
+    return EdgeProbabilities.from_dict(
+        graph, {(0, 1): 1.0, (0, 2): 1.0, (0, 3): 1.0, (0, 4): 1.0, (5, 4): 1.0}
+    )
+
+
+class TestInfluenceResultTypes:
+    def test_greedy_returns_seed_selection(self, star_probs):
+        selection = greedy_influence_maximization(
+            star_probs, num_seeds=2, num_runs=20, seed=3
+        )
+        assert isinstance(selection, SeedSelection)
+        assert len(selection.seeds) == 2
+        assert len(selection.marginal_gains) == len(selection.seeds)
+        assert selection.expected_spread >= 1.0
+
+    def test_sketch_pipeline_types(self, star_probs):
+        pool, schedule = adaptive_rr_pool(
+            star_probs, num_seeds=1, epsilon=0.5, seed=7, max_sketches=4096
+        )
+        assert isinstance(schedule, SketchSchedule)
+        assert schedule.epsilon == 0.5
+        assert schedule.generated_sketches == pool.num_sketches
+        assert schedule.lower_bound >= 1.0
+        coverage = max_coverage_seeds(pool, num_seeds=1)
+        assert isinstance(coverage, MaxCoverageResult)
+        # Node 0 reaches every other node, so it must cover the most
+        # sketches and be picked first.
+        assert coverage.seeds[0] == 0
+        assert coverage.covered_sketches == sum(coverage.marginal_counts)
+
+    def test_lt_result_shape(self, star_probs):
+        weights = uniform_lt_weights(star_probs.graph)
+        result = simulate_lt(weights, seeds=[0], seed=5)
+        assert isinstance(result, LTResult)
+        assert 0 in result.activated_set()
+        assert result.size == result.activated.shape[0]
+        assert result.activation_round.shape == result.activated.shape
+
+
+class TestPairTypes:
+    def test_pair_frequencies_match_extracted_pairs(self, tiny_graph, tiny_log):
+        pairs = extract_all_pairs(tiny_graph, tiny_log)
+        assert pairs and all(isinstance(p, InfluencePair) for p in pairs)
+        frequencies = pair_frequencies(tiny_graph, tiny_log)
+        assert isinstance(frequencies, PairFrequencies)
+        assert frequencies.total_pairs == len(pairs)
+        sources = {p.source for p in pairs}
+        assert {
+            u
+            for u in range(tiny_graph.num_nodes)
+            if frequencies.source_counts[u]
+        } == sources
+
+
+class TestCitationStudy:
+    def test_showcase_entries_are_author_predictions(self):
+        config = CitationConfig(
+            num_authors=40, num_papers=50, mean_references=3.0
+        )
+        dataset = CitationDataset.generate(config, seed=5)
+        result = run_case_study(
+            dataset,
+            num_showcase=2,
+            mc_runs=20,
+            embedding_dim=8,
+            embedding_epochs=2,
+            seed=5,
+        )
+        assert result.showcase
+        for prediction in result.showcase:
+            assert isinstance(prediction, AuthorPrediction)
+            assert len(prediction.embedding_top10) <= 10
+            assert prediction.embedding_hits <= len(prediction.embedding_top10)
+            assert prediction.conventional_hits <= len(
+                prediction.conventional_top10
+            )
+
+
+class TestEvalTypes:
+    def test_curve_types_and_invariants(self):
+        scores = [0.9, 0.8, 0.7, 0.2, 0.1]
+        labels = [1, 1, 0, 1, 0]
+        roc = roc_curve(scores, labels)
+        assert isinstance(roc, RocCurve)
+        assert roc.false_positive_rate[0] == 0.0
+        assert roc.true_positive_rate[-1] == 1.0
+        assert 0.0 <= roc.auc <= 1.0
+        pr = precision_recall_curve(scores, labels)
+        assert isinstance(pr, PrecisionRecallCurve)
+        assert pr.precision.shape == pr.recall.shape
+        assert 0.0 <= pr.average_precision <= 1.0
+
+    def test_activation_candidates(self, tiny_graph, fig5_episode):
+        candidates = episode_candidates(tiny_graph, fig5_episode)
+        assert candidates
+        for candidate in candidates:
+            assert isinstance(candidate, ActivationCandidate)
+            assert candidate.label in (0, 1)
+            assert candidate.item == fig5_episode.item
+
+    def test_diffusion_query_and_paper_fraction(self, fig5_episode):
+        assert PAPER_SEED_FRACTION == 0.05
+        query = make_query(fig5_episode, seed_fraction=0.4)
+        assert isinstance(query, DiffusionQuery)
+        assert query.item == fig5_episode.item
+        assert query.ground_truth  # non-seed adopters remain
+        assert not query.ground_truth & set(query.seeds)
+
+    def test_grid_search_trial_types(self, small_dataset, small_splits):
+        train, tune, _ = small_splits
+        result = grid_search(
+            lambda **params: StaticModel(smoothing=params["smoothing"]),
+            {"smoothing": [0.0, 1.0]},
+            small_dataset.graph,
+            train,
+            tune,
+            predictor_kwargs={"num_runs": 5, "seed": 0},
+        )
+        assert isinstance(result, TuningResult)
+        assert all(isinstance(trial, TuningTrial) for trial in result.trials)
+        best = result.best
+        assert best.metric(result.metric) == max(
+            trial.metric(result.metric) for trial in result.trials
+        )
+        assert result.best_params in [trial.params for trial in result.trials]
+
+
+class TestExperimentScales:
+    def test_registry_is_consistent(self):
+        assert SCALES["small"] is SMALL
+        assert SCALES["medium"] is MEDIUM
+        assert SMALL.num_users < MEDIUM.num_users
+        config = SMALL.inf2vec_config(epochs=3)
+        assert config.epochs == 3 and config.dim == SMALL.dim
+
+
+class TestClustering:
+    def test_kmeans_result_shape(self):
+        rng = np.random.default_rng(3)
+        points = np.concatenate(
+            [rng.normal(0, 0.1, (20, 2)), rng.normal(5, 0.1, (20, 2))]
+        )
+        result = kmeans(points, num_clusters=2, seed=3)
+        assert isinstance(result, KMeansResult)
+        assert result.labels.shape == (40,)
+        assert result.centroids.shape == (2, 2)
+        assert result.inertia >= 0.0
+        # The two blobs must separate.
+        assert len({int(label) for label in result.labels[:20]}) == 1
+        assert result.labels[0] != result.labels[-1]
+
+
+class TestObservabilityTypes:
+    def test_instrument_classes(self):
+        registry = MetricsRegistry()
+        assert isinstance(registry.counter("c", "desc"), Counter)
+        assert isinstance(registry.gauge("g", "desc"), Gauge)
+        assert isinstance(registry.histogram("h", (1.0,), "desc"), Histogram)
+        summary = registry.summary("s", DEFAULT_SUMMARY_QUANTILES, "desc")
+        assert isinstance(summary, Summary)
+        assert all(0.0 < q < 1.0 for q in DEFAULT_SUMMARY_QUANTILES)
+        summary.observe(1.0)
+        assert summary.quantile(DEFAULT_SUMMARY_QUANTILES[0]) == 1.0
+
+    def test_null_registry_is_disabled(self):
+        registry = NullRegistry()
+        assert not registry.enabled
+        registry.counter("anything", "no-op").inc()  # must not record
+        assert registry.snapshot() == {}
+
+    def test_tracer_yields_spans(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("outer", scale="t") as span:
+            assert isinstance(span, Span)
+        assert isinstance(NullTracer(), NullTracer)
+        assert not NullTracer().enabled
+
+    def test_export_filenames_are_stable(self):
+        assert MANIFEST_FILENAME == "manifest.json"
+        assert TRACE_FILENAME == "trace.jsonl"
+
+    def test_regress_surface(self):
+        assert DEFAULT_BASELINE_DIR == "benchmarks/baselines"
+        assert set(REPORT_FILES) >= {"BENCH_serving.json", "BENCH_training.json"}
+        findings = compare_reports(
+            {"a": 1.0},
+            {"a": 3.0},
+            [MetricPolicy("a", "lower", 0.5)],
+            report="X.json",
+        )
+        assert findings and all(isinstance(f, Finding) for f in findings)
+        assert findings[0].regressed
+
+
+class TestServingConstants:
+    def test_index_format_version_round_trips(self, tmp_path):
+        indices = np.array([[1, 2], [0, 2], [0, 1]], dtype=np.int64)
+        scores = np.array(
+            [[2.0, 1.0], [2.0, 1.0], [2.0, 1.0]], dtype=np.float64
+        )
+        index = TopKIndex("influenced", indices, scores)
+        index.save(tmp_path)
+        assert INDEX_FORMAT_VERSION == 1
+        manifest = (tmp_path / "topk_influenced.json").read_text()
+        assert str(INDEX_FORMAT_VERSION) in manifest
+        reopened = TopKIndex.open(tmp_path)
+        assert np.array_equal(reopened.indices, indices)
+
+
+class TestCheckpointConstants:
+    def test_write_latency_buckets_are_monotone(self):
+        assert list(CKPT_WRITE_LATENCY_BUCKETS) == sorted(
+            CKPT_WRITE_LATENCY_BUCKETS
+        )
+        assert CKPT_WRITE_LATENCY_BUCKETS[0] > 0.0
+
+
+class TestDiffusionConstants:
+    def test_paper_num_runs(self):
+        # §V: "we run 5000 Monte-Carlo simulations per estimate".
+        assert PAPER_NUM_RUNS == 5000
